@@ -1,0 +1,92 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not part of the paper's figures, but each row isolates one of the paper's
+design decisions so its effect can be verified independently:
+
+* Algorithm 4's adaptive sampling vs. Algorithm 1's fixed budget,
+* the Section-5.2 space reduction and the Section-5.3 accuracy enhancement,
+* truncated-walk Monte Carlo vs. the √c-walk variant of Section 4.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import ablations
+
+from _config import BENCH_SCALE
+
+DATASET = "GrQc"
+
+
+def bench_ablation_correction_sampler(benchmark, truth_cache, capsys):
+    """Algorithm 1 vs. Algorithm 4: samples drawn, time, and accuracy."""
+    rows = benchmark.pedantic(
+        lambda: ablations.correction_sampler_ablation(
+            DATASET, scale=BENCH_SCALE, cache=truth_cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    fixed, adaptive = rows
+    benchmark.extra_info["fixed_samples"] = fixed.total_samples
+    benchmark.extra_info["adaptive_samples"] = adaptive.total_samples
+    benchmark.extra_info["fixed_max_error"] = round(fixed.max_error_vs_exact, 6)
+    benchmark.extra_info["adaptive_max_error"] = round(adaptive.max_error_vs_exact, 6)
+    with capsys.disabled():
+        print("\n=== Ablation: correction-factor estimator (Algorithm 1 vs. 4) ===")
+        for row in rows:
+            print(
+                f"  {row.estimator:<24} samples={row.total_samples:>10,} "
+                f"time={row.seconds:7.3f}s max_error={row.max_error_vs_exact:.6f}"
+            )
+    # The adaptive estimator must not draw more samples than the fixed one.
+    assert adaptive.total_samples <= fixed.total_samples
+
+
+def bench_ablation_optimizations(benchmark, truth_cache, capsys):
+    """Space reduction / accuracy enhancement: size, error, query time."""
+    rows = benchmark.pedantic(
+        lambda: ablations.optimization_ablation(
+            DATASET, scale=BENCH_SCALE, cache=truth_cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n=== Ablation: Section 5.2 / 5.3 optimizations ===")
+        for row in rows:
+            print(
+                f"  {row.variant:<28} index={row.index_megabytes:7.3f}MB "
+                f"max_error={row.max_error:.6f} "
+                f"query={row.average_query_milliseconds:7.4f}ms"
+            )
+            benchmark.extra_info[row.variant] = {
+                "index_megabytes": round(row.index_megabytes, 4),
+                "max_error": round(row.max_error, 6),
+                "query_ms": round(row.average_query_milliseconds, 4),
+            }
+    baseline, reduced = rows[0], rows[1]
+    assert reduced.index_megabytes <= baseline.index_megabytes
+
+
+def bench_ablation_monte_carlo_variants(benchmark, truth_cache, capsys):
+    """Truncated-walk MC vs. √c-walk MC at the same walk budget."""
+    rows = benchmark.pedantic(
+        lambda: ablations.monte_carlo_variant_ablation(
+            DATASET, scale=BENCH_SCALE, cache=truth_cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n=== Ablation: Monte Carlo walk formulation (Section 4.1) ===")
+        for row in rows:
+            print(
+                f"  {row.variant:<24} walks={row.num_walks} "
+                f"index={row.index_megabytes:7.3f}MB max_error={row.max_error:.6f}"
+            )
+            benchmark.extra_info[row.variant] = {
+                "index_megabytes": round(row.index_megabytes, 4),
+                "max_error": round(row.max_error, 6),
+            }

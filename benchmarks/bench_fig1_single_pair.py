@@ -1,0 +1,45 @@
+"""Figure 1: average single-pair SimRank query cost per dataset and method.
+
+The paper issues 1000 random single-pair queries per dataset and reports the
+average time; SLING answers them in O(1/ε), Linearize in O(m log 1/ε), and MC
+in O(log(n/δ)/ε²).  Here each benchmark times a batch of random pairs against
+a session-cached index, so the per-call numbers reported by pytest-benchmark
+are directly comparable across methods within a dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import random_pairs
+
+from _config import ALL_DATASETS, TIMING_CONFIG
+
+#: Number of random pairs per measured batch (the paper uses 1000; a smaller
+#: batch keeps the pure-Python run short while preserving the comparison).
+PAIRS_PER_BATCH = 50
+
+METHODS = ("SLING", "Linearize", "MC")
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+@pytest.mark.parametrize("method_name", METHODS)
+def bench_single_pair_queries(benchmark, method_cache, graph_cache, dataset, method_name):
+    """Average time of a batch of random single-pair queries (Figure 1)."""
+    graph = graph_cache(dataset)
+    method = method_cache(dataset, method_name, TIMING_CONFIG)
+    pairs = random_pairs(graph, PAIRS_PER_BATCH, seed=1)
+
+    def run_batch() -> float:
+        total = 0.0
+        for node_u, node_v in pairs:
+            total += method.single_pair(node_u, node_v)
+        return total
+
+    benchmark(run_batch)
+    benchmark.extra_info["figure"] = "1"
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method_name
+    benchmark.extra_info["queries_per_batch"] = PAIRS_PER_BATCH
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_edges

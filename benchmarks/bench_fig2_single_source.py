@@ -1,0 +1,56 @@
+"""Figure 2: average single-source SimRank query cost per dataset and method.
+
+Four variants are measured, as in the paper: SLING with Algorithm 6 (the
+recommended local-push variant), SLING applying Algorithm 3 once per node,
+Linearize, and MC.  The paper only runs the n-fold-Algorithm-3 variant on the
+four smallest datasets because it is not competitive; the same restriction is
+applied here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import random_sources
+from repro.sling import SlingIndex
+
+from _config import ALL_DATASETS, SMALL_DATASETS, TIMING_CONFIG
+
+#: Number of random source nodes per measured batch (paper: 500).
+SOURCES_PER_BATCH = 5
+
+METHODS = ("SLING", "SLING (Alg. 3)", "Linearize", "MC")
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+@pytest.mark.parametrize("method_name", METHODS)
+def bench_single_source_queries(
+    benchmark, method_cache, graph_cache, dataset, method_name
+):
+    """Average time of a batch of random single-source queries (Figure 2)."""
+    if method_name == "SLING (Alg. 3)" and dataset not in SMALL_DATASETS:
+        pytest.skip("the n-fold Algorithm-3 variant is only run on small datasets")
+    graph = graph_cache(dataset)
+    base_method = "SLING" if method_name.startswith("SLING") else method_name
+    method = method_cache(dataset, base_method, TIMING_CONFIG)
+    sources = random_sources(graph, SOURCES_PER_BATCH, seed=2)
+
+    if method_name == "SLING (Alg. 3)":
+        assert isinstance(method, SlingIndex)
+
+        def run_batch() -> None:
+            for source in sources:
+                method.single_source(source, method="pairwise")
+
+    else:
+
+        def run_batch() -> None:
+            for source in sources:
+                method.single_source(source)
+
+    benchmark(run_batch)
+    benchmark.extra_info["figure"] = "2"
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method_name
+    benchmark.extra_info["queries_per_batch"] = SOURCES_PER_BATCH
+    benchmark.extra_info["nodes"] = graph.num_nodes

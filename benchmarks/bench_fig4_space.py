@@ -1,0 +1,47 @@
+"""Figure 4: space consumption of each method.
+
+SLING stores O(n/ε) hitting probabilities and is therefore larger than
+Linearize's O(n + m) structures but smaller than MC's fingerprint tensor at a
+comparable accuracy.  The index sizes (in MB) are attached to each benchmark
+record and also printed as a Figure-4 table at the end of the module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import SpaceRow
+from repro.evaluation.reporting import render_space
+
+from _config import ALL_DATASETS, TIMING_CONFIG
+
+METHODS = ("SLING", "Linearize", "MC")
+
+_collected_rows: list[SpaceRow] = []
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+@pytest.mark.parametrize("method_name", METHODS)
+def bench_index_size(benchmark, method_cache, graph_cache, dataset, method_name):
+    """Size accounting of one built index (the timing is incidental)."""
+    graph = graph_cache(dataset)
+    method = method_cache(dataset, method_name, TIMING_CONFIG)
+    size_bytes = benchmark(method.index_size_bytes)
+    megabytes = size_bytes / (1024.0 * 1024.0)
+    _collected_rows.append(SpaceRow(dataset, method_name, megabytes))
+    benchmark.extra_info["figure"] = "4"
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method_name
+    benchmark.extra_info["index_megabytes"] = round(megabytes, 4)
+    benchmark.extra_info["graph_megabytes"] = round(
+        graph.memory_bytes() / (1024.0 * 1024.0), 4
+    )
+
+
+def bench_space_report(benchmark, capsys):
+    """Print the aggregated Figure-4 table after all sizes were collected."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _collected_rows:
+        with capsys.disabled():
+            print()
+            print("=== " + render_space(_collected_rows).replace("\n", "\n    "))

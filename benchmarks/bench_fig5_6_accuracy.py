@@ -1,0 +1,61 @@
+"""Figures 5 and 6: query accuracy against the power-method ground truth.
+
+Figure 5 reports the maximum all-pairs error of each method (SLING must stay
+below its stipulated ε = 0.025, Linearize has no guarantee and exceeds it on
+several datasets); Figure 6 breaks the error down by ground-truth score group
+(S1 = [0.1, 1], S2 = [0.01, 0.1), S3 < 0.01).
+
+The measured time is the all-pairs computation of each method; the error
+metrics are attached as ``extra_info`` and printed as tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import grouped_errors, max_error
+from repro.evaluation.experiments import AccuracyRow, GroupedErrorRow
+from repro.evaluation.reporting import render_accuracy, render_grouped_errors
+
+from _config import ACCURACY_CONFIG, SMALL_DATASETS
+
+METHODS = ("SLING", "Linearize", "MC")
+
+_accuracy_rows: list[AccuracyRow] = []
+_grouped_rows: list[GroupedErrorRow] = []
+
+
+@pytest.mark.parametrize("dataset", SMALL_DATASETS)
+@pytest.mark.parametrize("method_name", METHODS)
+def bench_all_pairs_accuracy(
+    benchmark, method_cache, graph_cache, truth_cache, dataset, method_name
+):
+    """All-pairs computation time + maximum / per-group error (Figures 5-6)."""
+    graph = graph_cache(dataset)
+    truth = truth_cache.get(graph, c=ACCURACY_CONFIG.c)
+    method = method_cache(dataset, method_name, ACCURACY_CONFIG)
+    estimated = benchmark.pedantic(method.all_pairs, rounds=1, iterations=1)
+
+    maximum = max_error(estimated, truth)
+    groups = grouped_errors(estimated, truth)
+    _accuracy_rows.append(AccuracyRow(dataset, method_name, 0, maximum))
+    _grouped_rows.append(GroupedErrorRow(dataset, method_name, groups))
+
+    benchmark.extra_info["figure"] = "5/6"
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method_name
+    benchmark.extra_info["max_error"] = round(maximum, 6)
+    benchmark.extra_info["epsilon_target"] = ACCURACY_CONFIG.epsilon
+    for group, value in groups.as_dict().items():
+        benchmark.extra_info[f"avg_error_{group}"] = round(value, 8)
+
+
+def bench_accuracy_report(benchmark, capsys):
+    """Print the aggregated Figure-5 and Figure-6 tables."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _accuracy_rows:
+        with capsys.disabled():
+            print()
+            print(render_accuracy(_accuracy_rows))
+            print()
+            print(render_grouped_errors(_grouped_rows))

@@ -1,0 +1,55 @@
+"""Figure 7: precision of the top-k SimRank pairs returned by each method.
+
+The paper varies k from 400 to 2000 on the four smallest datasets.  The
+stand-ins are smaller, so k is scaled down proportionally; SLING should match
+or beat Linearize, and MC should trail both, as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import top_k_precision
+from repro.evaluation.experiments import TopKRow
+from repro.evaluation.reporting import render_top_k
+
+from _config import ACCURACY_CONFIG, SMALL_DATASETS
+
+METHODS = ("SLING", "Linearize", "MC")
+
+#: Scaled-down equivalents of the paper's k = 400 .. 2000 sweep.
+K_VALUES = (20, 40, 60, 80, 100)
+
+_rows: list[TopKRow] = []
+
+
+@pytest.mark.parametrize("dataset", SMALL_DATASETS)
+@pytest.mark.parametrize("method_name", METHODS)
+def bench_top_k_precision(
+    benchmark, method_cache, graph_cache, truth_cache, dataset, method_name
+):
+    """Top-k extraction time + precision for the k sweep (Figure 7)."""
+    graph = graph_cache(dataset)
+    truth = truth_cache.get(graph, c=ACCURACY_CONFIG.c)
+    method = method_cache(dataset, method_name, ACCURACY_CONFIG)
+    estimated = method.all_pairs()
+
+    def compute_precisions() -> dict[int, float]:
+        return {k: top_k_precision(estimated, truth, k) for k in K_VALUES}
+
+    precisions = benchmark(compute_precisions)
+    for k, precision in precisions.items():
+        _rows.append(TopKRow(dataset, method_name, k, precision))
+        benchmark.extra_info[f"precision_at_{k}"] = round(precision, 4)
+    benchmark.extra_info["figure"] = "7"
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method_name
+
+
+def bench_top_k_report(benchmark, capsys):
+    """Print the aggregated Figure-7 table."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _rows:
+        with capsys.disabled():
+            print()
+            print(render_top_k(_rows))

@@ -1,0 +1,46 @@
+"""Figure 9 (Appendix C): preprocessing time vs. number of worker processes.
+
+SLING's preprocessing is embarrassingly parallel (Section 5.4); the paper
+observes near-linear speed-up up to 16 threads.  Worker counts here are capped
+by the container's CPU count; the pure-Python workers also pay a pickling /
+process-start overhead that the authors' pthread implementation does not, so
+the speed-up is sublinear on the small stand-ins but must not regress.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sling import SlingParameters, build_with_thread_count
+
+from _config import BENCH_EPSILON, LARGE_DATASETS
+
+# Worker counts to sweep.  The sweep always includes multi-worker points so
+# the parallel machinery is exercised even on single-core machines; the
+# speed-up itself obviously needs as many physical cores as workers (the
+# recorded run of this repository had a single core available — see
+# EXPERIMENTS.md).
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.parametrize("dataset", LARGE_DATASETS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def bench_parallel_preprocessing(benchmark, graph_cache, dataset, workers):
+    """Full preprocessing (corrections + hitting sets) with N workers."""
+    graph = graph_cache(dataset)
+    params = SlingParameters.from_accuracy_target(
+        num_nodes=graph.num_nodes, epsilon=BENCH_EPSILON
+    )
+    elapsed = benchmark.pedantic(
+        lambda: build_with_thread_count(graph, params, workers, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["figure"] = "9"
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["available_cpus"] = os.cpu_count() or 1
+    benchmark.extra_info["build_seconds"] = round(float(elapsed), 4)
+    benchmark.extra_info["nodes"] = graph.num_nodes

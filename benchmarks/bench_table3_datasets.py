@@ -1,0 +1,38 @@
+"""Table 3: dataset statistics (paper sizes vs. synthetic stand-ins).
+
+The measured quantity is the stand-in construction time; the rendered table is
+printed so that ``bench_output.txt`` contains the Table-3 reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import datasets
+
+from _config import BENCH_SCALE
+
+
+@pytest.mark.parametrize("name", datasets.dataset_names())
+def bench_dataset_standin_construction(benchmark, name):
+    """Time to generate one dataset stand-in at the benchmark scale."""
+    spec = datasets.DATASETS[name]
+    graph = benchmark.pedantic(
+        lambda: spec.build(scale=BENCH_SCALE, seed=0), rounds=1, iterations=1
+    )
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["paper_nodes"] = spec.paper_nodes
+    benchmark.extra_info["paper_edges"] = spec.paper_edges
+    benchmark.extra_info["standin_nodes"] = graph.num_nodes
+    benchmark.extra_info["standin_edges"] = graph.num_edges
+    benchmark.extra_info["directed"] = spec.directed
+
+
+def bench_table3_report(benchmark, capsys):
+    """Render the full Table-3 report (paper statistics + stand-in sizes)."""
+    table = benchmark.pedantic(
+        lambda: datasets.table3(scale=BENCH_SCALE, seed=0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n=== Table 3: datasets (paper vs. stand-in) ===")
+        print(table)

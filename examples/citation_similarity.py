@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Find related papers in a citation graph with single-source SimRank.
+
+This mirrors the paper's motivating use case of link-based similarity search
+(Section 1): given one paper in a citation network, rank the other papers by
+SimRank.  Two papers are similar when they are cited by similar sets of
+papers — the recursive definition SimRank captures and plain co-citation
+counting does not.
+
+The citation network is synthesised with the copying model (new papers copy a
+fraction of the references of an existing "prototype" paper), which produces
+the skewed citation counts and topical clusters of real citation graphs.  The
+script compares SLING's ranking against the exact power-method ranking and
+against a naive co-citation baseline.
+
+Run with:
+
+    python examples/citation_similarity.py [--papers 400] [--query 123]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import PowerMethod
+from repro.graphs import generators
+from repro.sling import SlingIndex
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--papers", type=int, default=400)
+    parser.add_argument("--references-per-paper", type=int, default=6)
+    parser.add_argument("--query", type=int, default=250)
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--epsilon", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=11)
+    return parser.parse_args()
+
+
+def co_citation_scores(graph, query: int) -> np.ndarray:
+    """Baseline: count papers that cite both the query and the candidate."""
+    citers_of_query = set(graph.in_neighbors(query).tolist())
+    scores = np.zeros(graph.num_nodes)
+    for candidate in graph.nodes():
+        if candidate == query:
+            continue
+        citers = set(graph.in_neighbors(candidate).tolist())
+        scores[candidate] = len(citers & citers_of_query)
+    return scores
+
+
+def main() -> None:
+    args = parse_args()
+
+    print("Building a synthetic citation network (copying model) ...")
+    graph = generators.copying_model(
+        args.papers,
+        args.references_per_paper,
+        copy_probability=0.6,
+        seed=args.seed,
+    )
+    print(f"  {graph!r}")
+    query = args.query % graph.num_nodes
+    print(f"  query paper: {query} (cited {graph.in_degree(query)} times)")
+
+    print(f"Building the SLING index (epsilon = {args.epsilon}) ...")
+    index = SlingIndex(graph, epsilon=args.epsilon, seed=args.seed).build()
+    print(f"  {index.build_statistics.summary()}")
+
+    print(f"Top-{args.top} related papers according to SLING:")
+    sling_ranking = index.top_k(query, args.top)
+    for rank, (paper, score) in enumerate(sling_ranking, start=1):
+        print(f"  #{rank:2d}: paper {paper:4d}  SimRank {score:.4f}")
+
+    print("Cross-checking against the exact power-method ranking ...")
+    truth = PowerMethod(graph, num_iterations=30).build().single_source(query)
+    truth[query] = -1.0
+    exact_top = set(np.argsort(-truth)[: args.top].tolist())
+    sling_top = {paper for paper, _ in sling_ranking}
+    overlap = len(exact_top & sling_top)
+    print(f"  overlap with the exact top-{args.top}: {overlap}/{args.top}")
+
+    print("Comparing with the naive co-citation baseline ...")
+    co_citation = co_citation_scores(graph, query)
+    co_citation_top = set(np.argsort(-co_citation)[: args.top].tolist())
+    print(
+        f"  co-citation overlap with the exact top-{args.top}: "
+        f"{len(co_citation_top & exact_top)}/{args.top}"
+    )
+    print(
+        "  (SimRank also surfaces papers with no direct co-citations, which "
+        "is exactly why the recursive definition is preferred.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Common interface shared by every SimRank method in the repository.
+
+The evaluation harness (Figures 1-7) runs the same workloads over SLING and
+over the competing methods, so each method implements the small
+:class:`SimRankMethod` protocol: a build step, a single-pair query, a
+single-source query, and size accounting.  The abstract base also provides a
+generic ``all_pairs`` built on top of ``single_source`` for the accuracy
+experiments on small graphs.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..exceptions import IndexNotBuiltError
+from ..graphs import DiGraph
+
+__all__ = ["SimRankMethod"]
+
+
+class SimRankMethod(abc.ABC):
+    """Abstract base for SimRank computation methods.
+
+    Subclasses set :attr:`name` to the label used in the paper's figures
+    ("SLING", "Linearize", "MC", ...).
+    """
+
+    #: Label used in experiment reports.
+    name: str = "method"
+
+    def __init__(self, graph: DiGraph, *, c: float = 0.6) -> None:
+        self._graph = graph
+        self._c = float(c)
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> DiGraph:
+        """The graph the method operates on."""
+        return self._graph
+
+    @property
+    def c(self) -> float:
+        """SimRank decay factor."""
+        return self._c
+
+    @property
+    def is_built(self) -> bool:
+        """Whether preprocessing has completed."""
+        return self._built
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexNotBuiltError(f"{self.name} index")
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def build(self) -> "SimRankMethod":
+        """Run the method's preprocessing phase; returns ``self``."""
+
+    @abc.abstractmethod
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        """Approximate SimRank score of one node pair."""
+
+    @abc.abstractmethod
+    def single_source(self, node: int) -> np.ndarray:
+        """Approximate SimRank scores from ``node`` to every node."""
+
+    @abc.abstractmethod
+    def index_size_bytes(self) -> int:
+        """Size of the preprocessed structures, in bytes."""
+
+    # ------------------------------------------------------------------ #
+    def all_pairs(self) -> np.ndarray:
+        """All-pairs scores via one single-source query per node (small graphs)."""
+        self._require_built()
+        n = self._graph.num_nodes
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for node in self._graph.nodes():
+            matrix[node] = self.single_source(node)
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "built" if self._built else "not built"
+        return f"{type(self).__name__}(n={self._graph.num_nodes}, {status})"

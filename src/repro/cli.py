@@ -1,0 +1,233 @@
+"""Command-line interface for the SLING reproduction.
+
+The CLI wraps the experiment drivers so the paper's tables can be regenerated
+without writing Python::
+
+    python -m repro.cli table3
+    python -m repro.cli figure1 --datasets GrQc AS --queries 100
+    python -m repro.cli figure5 --datasets GrQc --runs 2
+    python -m repro.cli query --dataset GrQc --source 3 --top 10
+
+Every sub-command accepts ``--scale`` (stand-in graph size multiplier),
+``--epsilon`` and ``--seed``; results are printed as the same text tables the
+benchmark harness emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .evaluation import experiments, reporting
+from .evaluation.experiments import MethodConfig
+from .graphs import datasets
+from .sling import SlingIndex
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_METHODS = ("SLING", "Linearize", "MC")
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="stand-in graph scale multiplier (default: 0.1)",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.05,
+        help="SLING / MC accuracy target (default: 0.05)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--mc-walks",
+        type=int,
+        default=200,
+        help="Monte-Carlo walks per node (default: 200)",
+    )
+
+
+def _add_dataset_option(parser: argparse.ArgumentParser, default: Sequence[str]) -> None:
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=list(default),
+        choices=datasets.dataset_names(),
+        metavar="NAME",
+        help=f"datasets to run on (default: {' '.join(default)})",
+    )
+
+
+def _add_method_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=list(_DEFAULT_METHODS),
+        choices=["SLING", "Linearize", "MC", "MC-sqrtc"],
+        help="methods to compare",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sling",
+        description="Reproduce the SLING (SIGMOD 2016) evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table3 = subparsers.add_parser("table3", help="print Table 3 (datasets)")
+    _add_common_options(table3)
+
+    figure1 = subparsers.add_parser("figure1", help="single-pair query cost")
+    _add_common_options(figure1)
+    _add_dataset_option(figure1, datasets.SMALL_DATASETS)
+    _add_method_option(figure1)
+    figure1.add_argument("--queries", type=int, default=100)
+
+    figure2 = subparsers.add_parser("figure2", help="single-source query cost")
+    _add_common_options(figure2)
+    _add_dataset_option(figure2, datasets.SMALL_DATASETS)
+    _add_method_option(figure2)
+    figure2.add_argument("--queries", type=int, default=10)
+
+    figure3 = subparsers.add_parser("figure3", help="preprocessing cost")
+    _add_common_options(figure3)
+    _add_dataset_option(figure3, datasets.SMALL_DATASETS)
+    _add_method_option(figure3)
+
+    figure4 = subparsers.add_parser("figure4", help="space consumption")
+    _add_common_options(figure4)
+    _add_dataset_option(figure4, datasets.SMALL_DATASETS)
+    _add_method_option(figure4)
+
+    figure5 = subparsers.add_parser("figure5", help="maximum error vs. ground truth")
+    _add_common_options(figure5)
+    _add_dataset_option(figure5, datasets.SMALL_DATASETS)
+    _add_method_option(figure5)
+    figure5.add_argument("--runs", type=int, default=1)
+
+    figure6 = subparsers.add_parser("figure6", help="error per SimRank group")
+    _add_common_options(figure6)
+    _add_dataset_option(figure6, datasets.SMALL_DATASETS)
+    _add_method_option(figure6)
+
+    figure7 = subparsers.add_parser("figure7", help="top-k precision")
+    _add_common_options(figure7)
+    _add_dataset_option(figure7, datasets.SMALL_DATASETS)
+    _add_method_option(figure7)
+    figure7.add_argument("--k", nargs="+", type=int, default=[20, 40, 60, 80, 100])
+
+    query = subparsers.add_parser("query", help="run ad-hoc SimRank queries")
+    _add_common_options(query)
+    query.add_argument("--dataset", default="GrQc", choices=datasets.dataset_names())
+    query.add_argument("--source", type=int, required=True, help="query node id")
+    query.add_argument("--target", type=int, help="second node for a single-pair query")
+    query.add_argument("--top", type=int, default=10, help="top-k size")
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> MethodConfig:
+    return MethodConfig(
+        epsilon=args.epsilon, seed=args.seed, mc_num_walks=args.mc_walks
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = _config(args)
+
+    if args.command == "table3":
+        print(datasets.table3(scale=args.scale, seed=args.seed))
+        return 0
+
+    if args.command == "figure1":
+        rows = experiments.single_pair_experiment(
+            args.datasets,
+            methods=args.methods,
+            num_queries=args.queries,
+            scale=args.scale,
+            config=config,
+        )
+        print(reporting.render_query_costs(rows, title="Figure 1: single-pair query cost"))
+        return 0
+
+    if args.command == "figure2":
+        rows = experiments.single_source_experiment(
+            args.datasets,
+            methods=args.methods,
+            num_queries=args.queries,
+            scale=args.scale,
+            config=config,
+        )
+        print(reporting.render_query_costs(rows, title="Figure 2: single-source query cost"))
+        return 0
+
+    if args.command == "figure3":
+        rows = experiments.preprocessing_experiment(
+            args.datasets, methods=args.methods, scale=args.scale, config=config
+        )
+        print(reporting.render_preprocessing(rows))
+        return 0
+
+    if args.command == "figure4":
+        rows = experiments.space_experiment(
+            args.datasets, methods=args.methods, scale=args.scale, config=config
+        )
+        print(reporting.render_space(rows))
+        return 0
+
+    if args.command == "figure5":
+        rows = experiments.accuracy_experiment(
+            args.datasets,
+            methods=args.methods,
+            num_runs=args.runs,
+            scale=args.scale,
+            config=config,
+        )
+        print(reporting.render_accuracy(rows))
+        return 0
+
+    if args.command == "figure6":
+        rows = experiments.grouped_error_experiment(
+            args.datasets, methods=args.methods, scale=args.scale, config=config
+        )
+        print(reporting.render_grouped_errors(rows))
+        return 0
+
+    if args.command == "figure7":
+        rows = experiments.top_k_experiment(
+            args.datasets,
+            methods=args.methods,
+            k_values=args.k,
+            scale=args.scale,
+            config=config,
+        )
+        print(reporting.render_top_k(rows))
+        return 0
+
+    if args.command == "query":
+        graph = datasets.load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        index = SlingIndex(
+            graph, epsilon=args.epsilon, seed=args.seed
+        ).build()
+        source = args.source % graph.num_nodes
+        if args.target is not None:
+            target = args.target % graph.num_nodes
+            print(f"s({source}, {target}) = {index.single_pair(source, target):.6f}")
+        print(f"top-{args.top} nodes most similar to {source}:")
+        for rank, (node, score) in enumerate(index.top_k(source, args.top), start=1):
+            print(f"  #{rank:2d}  node {node:6d}  score {score:.6f}")
+        return 0
+
+    return 1  # pragma: no cover - unreachable with required=True
+
+
+if __name__ == "__main__":
+    sys.exit(main())

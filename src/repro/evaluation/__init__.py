@@ -1,0 +1,33 @@
+"""Evaluation harness: ground truth, metrics, workloads, experiment drivers."""
+
+from .ground_truth import GroundTruthCache, ground_truth_matrix
+from .metrics import (
+    GroupedErrors,
+    grouped_errors,
+    max_error,
+    mean_error,
+    top_k_pairs,
+    top_k_precision,
+)
+from .timing import Timer, TimingResult, time_callable
+from .workloads import random_pairs, random_sources
+from . import ablations, experiments, reporting
+
+__all__ = [
+    "GroundTruthCache",
+    "ground_truth_matrix",
+    "GroupedErrors",
+    "grouped_errors",
+    "max_error",
+    "mean_error",
+    "top_k_pairs",
+    "top_k_precision",
+    "Timer",
+    "TimingResult",
+    "time_callable",
+    "random_pairs",
+    "random_sources",
+    "ablations",
+    "experiments",
+    "reporting",
+]

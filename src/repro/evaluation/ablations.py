@@ -1,0 +1,200 @@
+"""Ablation studies for the design choices highlighted in DESIGN.md.
+
+The paper motivates each of its Section-5 optimizations with an argument but
+only reports end-to-end numbers; these drivers isolate the individual choices
+so their effect can be measured directly:
+
+* **Algorithm 1 vs. Algorithm 4** — fixed vs. adaptive sample budgets for the
+  correction factors (Section 5.1).  The adaptive estimator should use far
+  fewer √c-walk pairs on nodes whose in-neighbourhood similarity µ is small,
+  without hurting accuracy.
+* **Space reduction on/off** — dropping step-1/2 hitting probabilities
+  (Section 5.2) should shrink the index materially while the query error stays
+  within ε (the recomputed values are exact).
+* **Accuracy enhancement on/off** — the marked-HP expansion (Section 5.3)
+  should reduce the observed error at a bounded query-time cost.
+* **MC vs. MC-√c** — replacing truncated reverse walks with √c-walks
+  (Section 4.1) should improve accuracy per stored byte.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines import MonteCarloIndex, SqrtCMonteCarloIndex
+from ..graphs import DiGraph, datasets
+from ..sling import SlingIndex, SlingParameters, SqrtCWalker, estimate_correction_factor
+from .ground_truth import GroundTruthCache
+from .metrics import max_error
+from .workloads import random_pairs
+
+__all__ = [
+    "CorrectionSamplerRow",
+    "OptimizationRow",
+    "MonteCarloVariantRow",
+    "correction_sampler_ablation",
+    "optimization_ablation",
+    "monte_carlo_variant_ablation",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 1 vs Algorithm 4
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CorrectionSamplerRow:
+    """Cost and accuracy of one correction-factor estimator variant."""
+
+    dataset: str
+    estimator: str
+    total_samples: int
+    seconds: float
+    max_error_vs_exact: float
+
+
+def correction_sampler_ablation(
+    dataset: str = "GrQc",
+    *,
+    scale: float = 0.2,
+    epsilon_d: float = 0.01,
+    seed: int = 0,
+    cache: GroundTruthCache | None = None,
+) -> list[CorrectionSamplerRow]:
+    """Compare Algorithm 1 (fixed budget) against Algorithm 4 (adaptive)."""
+    cache = cache or GroundTruthCache()
+    graph = datasets.load_dataset(dataset, scale=scale, seed=seed)
+    truth = cache.get(graph)
+    from ..sling import exact_correction_factors
+
+    exact = exact_correction_factors(graph, truth, 0.6)
+    params = SlingParameters.from_accuracy_target(num_nodes=graph.num_nodes)
+    rows: list[CorrectionSamplerRow] = []
+    for adaptive, label in ((False, "Algorithm 1 (fixed)"), (True, "Algorithm 4 (adaptive)")):
+        walker = SqrtCWalker(graph, 0.6, seed=seed)
+        start = time.perf_counter()
+        estimates = [
+            estimate_correction_factor(
+                walker, node, epsilon_d, params.delta_d, adaptive=adaptive
+            )
+            for node in graph.nodes()
+        ]
+        elapsed = time.perf_counter() - start
+        values = np.array([estimate.value for estimate in estimates])
+        rows.append(
+            CorrectionSamplerRow(
+                dataset=dataset,
+                estimator=label,
+                total_samples=sum(estimate.num_samples for estimate in estimates),
+                seconds=elapsed,
+                max_error_vs_exact=float(np.abs(values - exact).max()),
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Space reduction / accuracy enhancement
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OptimizationRow:
+    """Effect of one optimization flag combination on the SLING index."""
+
+    dataset: str
+    variant: str
+    index_megabytes: float
+    max_error: float
+    average_query_milliseconds: float
+
+
+def optimization_ablation(
+    dataset: str = "GrQc",
+    *,
+    scale: float = 0.2,
+    epsilon: float = 0.05,
+    num_queries: int = 200,
+    seed: int = 0,
+    cache: GroundTruthCache | None = None,
+) -> list[OptimizationRow]:
+    """Measure size, error, and query time for every optimization combination."""
+    cache = cache or GroundTruthCache()
+    graph = datasets.load_dataset(dataset, scale=scale, seed=seed)
+    truth = cache.get(graph)
+    pairs = random_pairs(graph, num_queries, seed=seed)
+    variants = [
+        ("baseline", False, False),
+        ("space reduction (5.2)", True, False),
+        ("accuracy enhancement (5.3)", False, True),
+        ("both optimizations", True, True),
+    ]
+    rows: list[OptimizationRow] = []
+    for label, reduce_space, enhance in variants:
+        index = SlingIndex(
+            graph,
+            epsilon=epsilon,
+            seed=seed,
+            reduce_space=reduce_space,
+            enhance_accuracy=enhance,
+        ).build()
+        start = time.perf_counter()
+        for node_u, node_v in pairs:
+            index.single_pair(node_u, node_v)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            OptimizationRow(
+                dataset=dataset,
+                variant=label,
+                index_megabytes=index.index_size_bytes() / (1024.0 * 1024.0),
+                max_error=max_error(index.all_pairs(), truth),
+                average_query_milliseconds=1000.0 * elapsed / max(1, len(pairs)),
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# MC vs MC-sqrt(c)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MonteCarloVariantRow:
+    """Accuracy per stored byte of the two Monte Carlo variants."""
+
+    dataset: str
+    variant: str
+    num_walks: int
+    index_megabytes: float
+    max_error: float
+
+
+def monte_carlo_variant_ablation(
+    dataset: str = "GrQc",
+    *,
+    scale: float = 0.2,
+    num_walks: int = 400,
+    seed: int = 0,
+    cache: GroundTruthCache | None = None,
+) -> list[MonteCarloVariantRow]:
+    """Compare the truncated-walk MC index against the √c-walk variant."""
+    cache = cache or GroundTruthCache()
+    graph = datasets.load_dataset(dataset, scale=scale, seed=seed)
+    truth = cache.get(graph)
+    methods = [
+        ("MC (truncated walks)", MonteCarloIndex(graph, num_walks=num_walks, seed=seed)),
+        ("MC (sqrt(c)-walks)", SqrtCMonteCarloIndex(graph, num_walks=num_walks, seed=seed)),
+    ]
+    rows: list[MonteCarloVariantRow] = []
+    for label, method in methods:
+        method.build()
+        rows.append(
+            MonteCarloVariantRow(
+                dataset=dataset,
+                variant=label,
+                num_walks=num_walks,
+                index_megabytes=method.index_size_bytes() / (1024.0 * 1024.0),
+                max_error=max_error(method.all_pairs(), truth),
+            )
+        )
+    return rows

@@ -1,0 +1,81 @@
+"""Small timing utilities shared by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..exceptions import ParameterError
+
+__all__ = ["Timer", "time_callable", "TimingResult"]
+
+
+class Timer:
+    """A tiny accumulating stopwatch.
+
+    >>> timer = Timer()
+    >>> with timer.measure():
+    ...     _ = sum(range(1000))
+    >>> timer.total_seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.num_measurements = 0
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        """Context manager adding the elapsed wall-clock time to the total."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.total_seconds += time.perf_counter() - start
+            self.num_measurements += 1
+
+    @property
+    def average_seconds(self) -> float:
+        """Mean elapsed time per measurement (0 when nothing was measured)."""
+        if self.num_measurements == 0:
+            return 0.0
+        return self.total_seconds / self.num_measurements
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Aggregate of repeated timings of one callable."""
+
+    total_seconds: float
+    num_calls: int
+    per_call_results: tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def average_seconds(self) -> float:
+        """Mean wall-clock time per call."""
+        return self.total_seconds / self.num_calls if self.num_calls else 0.0
+
+    @property
+    def average_milliseconds(self) -> float:
+        """Mean wall-clock time per call, in milliseconds."""
+        return self.average_seconds * 1000.0
+
+
+def time_callable(
+    function: Callable[[], object], *, repeats: int = 1
+) -> TimingResult:
+    """Call ``function`` ``repeats`` times and aggregate wall-clock timings."""
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1, got {repeats}")
+    timings: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return TimingResult(
+        total_seconds=sum(timings),
+        num_calls=repeats,
+        per_call_results=tuple(timings),
+    )

@@ -1,0 +1,51 @@
+"""Query workload generators.
+
+The paper evaluates query performance on 1000 random single-pair queries and
+500 random single-source queries per dataset (Section 7.2).  These helpers
+generate such workloads deterministically from a seed so that every method is
+measured on exactly the same queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..graphs import DiGraph
+
+__all__ = ["random_pairs", "random_sources", "PAPER_PAIR_QUERIES", "PAPER_SOURCE_QUERIES"]
+
+#: Workload sizes used in Section 7.2 of the paper.
+PAPER_PAIR_QUERIES = 1000
+PAPER_SOURCE_QUERIES = 500
+
+
+def random_pairs(
+    graph: DiGraph, count: int, *, seed: int | None = None, distinct: bool = True
+) -> list[tuple[int, int]]:
+    """``count`` uniformly random node pairs (distinct nodes by default)."""
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    if graph.num_nodes < 2 and distinct and count > 0:
+        raise ParameterError("cannot draw distinct pairs from a graph with < 2 nodes")
+    rng = np.random.default_rng(seed)
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < count:
+        u = int(rng.integers(0, graph.num_nodes))
+        v = int(rng.integers(0, graph.num_nodes))
+        if distinct and u == v:
+            continue
+        pairs.append((u, v))
+    return pairs
+
+
+def random_sources(
+    graph: DiGraph, count: int, *, seed: int | None = None
+) -> list[int]:
+    """``count`` uniformly random source nodes (with replacement)."""
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    if graph.num_nodes == 0 and count > 0:
+        raise ParameterError("cannot draw sources from an empty graph")
+    rng = np.random.default_rng(seed)
+    return [int(node) for node in rng.integers(0, graph.num_nodes, size=count)]

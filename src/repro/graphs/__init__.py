@@ -1,0 +1,14 @@
+"""Graph substrate: compact digraph, I/O, generators, and dataset stand-ins."""
+
+from .digraph import DiGraph, GraphStatistics
+from .io import read_edge_list, write_edge_list
+from . import generators, datasets
+
+__all__ = [
+    "DiGraph",
+    "GraphStatistics",
+    "read_edge_list",
+    "write_edge_list",
+    "generators",
+    "datasets",
+]

@@ -1,0 +1,424 @@
+"""Compact directed-graph representation used throughout the library.
+
+SimRank is defined on directed, unweighted graphs through *in*-neighbour sets
+(Equation 1 of the paper).  All algorithms in this repository — √c-walk
+sampling, reverse local push, the power method, the Monte Carlo and
+linearization baselines — only need two primitives:
+
+* ``in_neighbors(v)``  — who points *to* ``v`` (used by reverse random walks),
+* ``out_neighbors(v)`` — who ``v`` points to (used by the local-push
+  propagation of Algorithms 2 and 6).
+
+:class:`DiGraph` stores both directions in CSR-style flat numpy arrays, which
+keeps memory close to ``2m`` integers and makes neighbour lookups allocation
+free.  Node identifiers are dense integers ``0 .. n-1``; an optional label
+mapping supports arbitrary hashable external identifiers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import GraphFormatError, NodeNotFoundError
+
+__all__ = ["DiGraph", "GraphStatistics"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of a graph, mirroring Table 3 of the paper."""
+
+    num_nodes: int
+    num_edges: int
+    is_symmetric: bool
+    max_in_degree: int
+    max_out_degree: int
+    mean_degree: float
+
+    def as_table_row(self, name: str = "graph") -> str:
+        """Render the statistics as a row matching Table 3 of the paper."""
+        kind = "undirected" if self.is_symmetric else "directed"
+        return (
+            f"{name:<16} {kind:<12} {self.num_nodes:>10,} {self.num_edges:>12,}"
+        )
+
+
+class DiGraph:
+    """A directed, unweighted graph over dense integer node ids.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids are ``0 .. num_nodes - 1``.
+    edges:
+        Iterable of ``(source, target)`` pairs.  Parallel edges are collapsed,
+        self-loops are kept (SimRank is well defined with self-loops).
+    labels:
+        Optional sequence of external labels, one per node.  Purely cosmetic;
+        all algorithms operate on integer ids.
+
+    Notes
+    -----
+    The adjacency structure is immutable after construction.  Mutation would
+    invalidate every index built on top of the graph, so the class simply does
+    not offer it; build a new graph instead.
+    """
+
+    __slots__ = (
+        "_num_nodes",
+        "_in_indptr",
+        "_in_indices",
+        "_out_indptr",
+        "_out_indices",
+        "_labels",
+        "_label_to_id",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        labels: Sequence[Hashable] | None = None,
+    ) -> None:
+        if num_nodes < 0:
+            raise GraphFormatError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+
+        edge_array = self._validate_edges(edges)
+        self._in_indptr, self._in_indices = self._group_by(
+            edge_array[:, 1], edge_array[:, 0]
+        )
+        self._out_indptr, self._out_indices = self._group_by(
+            edge_array[:, 0], edge_array[:, 1]
+        )
+
+        if labels is not None:
+            labels = list(labels)
+            if len(labels) != self._num_nodes:
+                raise GraphFormatError(
+                    f"expected {self._num_nodes} labels, got {len(labels)}"
+                )
+            self._labels: list[Hashable] | None = labels
+            self._label_to_id: dict[Hashable, int] | None = {
+                label: idx for idx, label in enumerate(labels)
+            }
+            if len(self._label_to_id) != self._num_nodes:
+                raise GraphFormatError("node labels must be unique")
+        else:
+            self._labels = None
+            self._label_to_id = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _validate_edges(self, edges: Iterable[tuple[int, int]]) -> np.ndarray:
+        """Deduplicate and validate the edge list, returning an ``(m, 2)`` array."""
+        pairs = {(int(u), int(v)) for u, v in edges}
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        edge_array = np.array(sorted(pairs), dtype=np.int64)
+        lo = edge_array.min()
+        hi = edge_array.max()
+        if lo < 0 or hi >= self._num_nodes:
+            raise GraphFormatError(
+                f"edge endpoints must be in [0, {self._num_nodes - 1}], "
+                f"found values in [{lo}, {hi}]"
+            )
+        return edge_array
+
+    def _group_by(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Group ``values`` by ``keys`` into ``(indptr, indices)`` CSR arrays."""
+        if keys.shape[0] == 0:
+            return (
+                np.zeros(self._num_nodes + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        order = np.argsort(keys, kind="stable")
+        sorted_values = values[order].astype(np.int64, copy=False)
+        counts = np.bincount(keys, minlength=self._num_nodes)
+        indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, sorted_values
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m`` (after duplicate removal)."""
+        return int(self._out_indices.shape[0])
+
+    def nodes(self) -> range:
+        """Iterate over all node ids."""
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all ``(source, target)`` edges."""
+        for u in range(self._num_nodes):
+            start, stop = self._out_indptr[u], self._out_indptr[u + 1]
+            for v in self._out_indices[start:stop]:
+                yield u, int(v)
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, (int, np.integer)) and 0 <= int(node) < self._num_nodes
+
+    def __repr__(self) -> str:
+        return f"DiGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Neighbour access
+    # ------------------------------------------------------------------ #
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self._num_nodes:
+            raise NodeNotFoundError(node)
+        return node
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """Return the in-neighbours of ``node`` as a read-only numpy view."""
+        node = self._check_node(node)
+        view = self._in_indices[self._in_indptr[node] : self._in_indptr[node + 1]]
+        view.flags.writeable = False
+        return view
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Return the out-neighbours of ``node`` as a read-only numpy view."""
+        node = self._check_node(node)
+        view = self._out_indices[self._out_indptr[node] : self._out_indptr[node + 1]]
+        view.flags.writeable = False
+        return view
+
+    def in_degree(self, node: int) -> int:
+        """In-degree ``|I(v)|`` of ``node``."""
+        node = self._check_node(node)
+        return int(self._in_indptr[node + 1] - self._in_indptr[node])
+
+    def out_degree(self, node: int) -> int:
+        """Out-degree of ``node``."""
+        node = self._check_node(node)
+        return int(self._out_indptr[node + 1] - self._out_indptr[node])
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node as an ``(n,)`` array."""
+        return np.diff(self._in_indptr)
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node as an ``(n,)`` array."""
+        return np.diff(self._out_indptr)
+
+    def in_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The in-adjacency as ``(indptr, indices)`` CSR arrays (read-only views).
+
+        ``indices[indptr[v]:indptr[v+1]]`` are the in-neighbours of ``v``.
+        Exposed so that performance-critical algorithms (reverse push, batch
+        walk sampling) can operate on flat numpy arrays.
+        """
+        return self._in_indptr, self._in_indices
+
+    def out_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The out-adjacency as ``(indptr, indices)`` CSR arrays (read-only views)."""
+        return self._out_indptr, self._out_indices
+
+    def sample_in_neighbors(
+        self, nodes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample one uniform in-neighbour for each node in ``nodes``.
+
+        Vectorised helper used by the Monte-Carlo style baselines: entry ``i``
+        of the result is a uniformly random member of ``I(nodes[i])``, or
+        ``-1`` when that node has no in-neighbours.  ``nodes`` may contain
+        ``-1`` entries (already-stopped walks), which stay ``-1``.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        result = np.full(nodes.shape[0], -1, dtype=np.int64)
+        valid = nodes >= 0
+        if not valid.any():
+            return result
+        valid_nodes = nodes[valid]
+        if valid_nodes.max(initial=-1) >= self._num_nodes:
+            raise NodeNotFoundError(int(valid_nodes.max()))
+        degrees = self._in_indptr[valid_nodes + 1] - self._in_indptr[valid_nodes]
+        sampled = np.full(valid_nodes.shape[0], -1, dtype=np.int64)
+        has_in = degrees > 0
+        if has_in.any():
+            offsets = np.floor(
+                rng.random(int(has_in.sum())) * degrees[has_in]
+            ).astype(np.int64)
+            starts = self._in_indptr[valid_nodes[has_in]]
+            sampled[has_in] = self._in_indices[starts + offsets]
+        result[valid] = sampled
+        return result
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return ``True`` when the directed edge ``source -> target`` exists."""
+        source = self._check_node(source)
+        target = self._check_node(target)
+        row = self._out_indices[
+            self._out_indptr[source] : self._out_indptr[source + 1]
+        ]
+        idx = np.searchsorted(row, target)
+        return bool(idx < row.shape[0] and row[idx] == target)
+
+    # ------------------------------------------------------------------ #
+    # Labels
+    # ------------------------------------------------------------------ #
+    @property
+    def has_labels(self) -> bool:
+        """Whether external labels were supplied at construction time."""
+        return self._labels is not None
+
+    def label_of(self, node: int) -> Hashable:
+        """Return the external label of ``node`` (or the id when unlabeled)."""
+        node = self._check_node(node)
+        if self._labels is None:
+            return node
+        return self._labels[node]
+
+    def node_of(self, label: Hashable) -> int:
+        """Return the integer id of an external ``label``."""
+        if self._label_to_id is None:
+            if isinstance(label, (int, np.integer)) and label in self:
+                return int(label)
+            raise NodeNotFoundError(label)
+        try:
+            return self._label_to_id[label]
+        except KeyError as exc:
+            raise NodeNotFoundError(label) from exc
+
+    # ------------------------------------------------------------------ #
+    # Derived structures
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> GraphStatistics:
+        """Compute summary statistics (Table 3 style)."""
+        in_deg = self.in_degrees()
+        out_deg = self.out_degrees()
+        return GraphStatistics(
+            num_nodes=self.num_nodes,
+            num_edges=self.num_edges,
+            is_symmetric=self.is_symmetric(),
+            max_in_degree=int(in_deg.max(initial=0)),
+            max_out_degree=int(out_deg.max(initial=0)),
+            mean_degree=float(self.num_edges / self.num_nodes)
+            if self.num_nodes
+            else 0.0,
+        )
+
+    def is_symmetric(self) -> bool:
+        """Return ``True`` when every edge has its reverse edge (undirected)."""
+        return all(self.has_edge(v, u) for u, v in self.edges())
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        return DiGraph(
+            self.num_nodes,
+            ((v, u) for u, v in self.edges()),
+            labels=self._labels,
+        )
+
+    def transition_matrix(self):
+        """Return the column-stochastic matrix ``P`` of Equation (5).
+
+        ``P[i, j] = 1 / |I(v_j)|`` when ``v_i`` is an in-neighbour of ``v_j``,
+        i.e. column ``j`` spreads unit mass uniformly over ``I(v_j)``.
+        Returned as a ``scipy.sparse.csr_matrix``.
+        """
+        from scipy import sparse
+
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        for j in range(self.num_nodes):
+            in_nb = self.in_neighbors(j)
+            if in_nb.shape[0] == 0:
+                continue
+            rows.append(in_nb)
+            cols.append(np.full(in_nb.shape[0], j, dtype=np.int64))
+            data.append(np.full(in_nb.shape[0], 1.0 / in_nb.shape[0]))
+        if not rows:
+            return sparse.csr_matrix((self.num_nodes, self.num_nodes))
+        return sparse.csr_matrix(
+            (
+                np.concatenate(data),
+                (np.concatenate(rows), np.concatenate(cols)),
+            ),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of the adjacency arrays."""
+        return int(
+            self._in_indptr.nbytes
+            + self._in_indices.nbytes
+            + self._out_indptr.nbytes
+            + self._out_indices.nbytes
+        )
+
+    # ------------------------------------------------------------------ #
+    # Alternate constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Iterable[tuple[Hashable, Hashable]],
+        *,
+        symmetrize: bool = False,
+    ) -> "DiGraph":
+        """Build a graph from an edge list over arbitrary hashable labels.
+
+        Node ids are assigned in first-seen order.  With ``symmetrize=True``
+        the reverse of every edge is added as well, which is how the paper
+        treats the undirected datasets of Table 3.
+        """
+        label_to_id: dict[Hashable, int] = {}
+        int_edges: list[tuple[int, int]] = []
+        for u_label, v_label in edges:
+            u = label_to_id.setdefault(u_label, len(label_to_id))
+            v = label_to_id.setdefault(v_label, len(label_to_id))
+            int_edges.append((u, v))
+            if symmetrize:
+                int_edges.append((v, u))
+        labels = [None] * len(label_to_id)
+        for label, idx in label_to_id.items():
+            labels[idx] = label
+        return cls(len(label_to_id), int_edges, labels=labels)
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "DiGraph":
+        """Convert a ``networkx`` (Di)Graph; undirected graphs are symmetrized."""
+        import networkx as nx
+
+        directed = nx_graph.is_directed()
+        nodes = list(nx_graph.nodes())
+        label_to_id = {label: idx for idx, label in enumerate(nodes)}
+        edges: list[tuple[int, int]] = []
+        for u_label, v_label in nx_graph.edges():
+            u, v = label_to_id[u_label], label_to_id[v_label]
+            edges.append((u, v))
+            if not directed:
+                edges.append((v, u))
+        del nx
+        return cls(len(nodes), edges, labels=nodes)
+
+    def to_networkx(self):
+        """Convert to a ``networkx.DiGraph`` with original labels."""
+        import networkx as nx
+
+        nx_graph = nx.DiGraph()
+        for node in self.nodes():
+            nx_graph.add_node(self.label_of(node))
+        for u, v in self.edges():
+            nx_graph.add_edge(self.label_of(u), self.label_of(v))
+        return nx_graph

@@ -1,0 +1,290 @@
+"""Seeded random-graph generators.
+
+The paper's evaluation uses twelve real-world graphs from SNAP and LAW
+(Table 3).  Those files are not bundled here, so each dataset is replaced by a
+synthetic stand-in whose *type* (directed vs. undirected), density, and degree
+skew match the original.  The generators below produce graphs with the
+properties SimRank algorithms are actually sensitive to:
+
+* heavy-tailed in-degree distributions (web / social graphs),
+* a mix of directed and symmetrized graphs,
+* the presence of nodes with zero in-degree (sources), which exercises the
+  boundary cases of √c-walks and of the correction-factor estimator.
+
+All generators are deterministic given a ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .digraph import DiGraph
+
+__all__ = [
+    "erdos_renyi",
+    "preferential_attachment",
+    "copying_model",
+    "small_world",
+    "two_level_community",
+    "star",
+    "cycle",
+    "complete",
+    "path",
+    "random_dag",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _require_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ParameterError(f"{name} must be positive, got {value}")
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic toy graphs (used heavily by tests)
+# --------------------------------------------------------------------------- #
+def star(num_leaves: int, *, inward: bool = True) -> DiGraph:
+    """A star with node 0 at the centre.
+
+    ``inward=True`` points every leaf at the centre (all leaves then share the
+    same single in-neighbour-of-in-neighbour structure, giving them pairwise
+    SimRank exactly ``c``), which makes the graph a convenient oracle.
+    """
+    _require_positive("num_leaves", num_leaves)
+    if inward:
+        edges = [(leaf, 0) for leaf in range(1, num_leaves + 1)]
+    else:
+        edges = [(0, leaf) for leaf in range(1, num_leaves + 1)]
+    return DiGraph(num_leaves + 1, edges)
+
+
+def cycle(num_nodes: int) -> DiGraph:
+    """A directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    _require_positive("num_nodes", num_nodes)
+    return DiGraph(num_nodes, [(i, (i + 1) % num_nodes) for i in range(num_nodes)])
+
+
+def path(num_nodes: int) -> DiGraph:
+    """A directed path ``0 -> 1 -> ... -> n-1``."""
+    _require_positive("num_nodes", num_nodes)
+    return DiGraph(num_nodes, [(i, i + 1) for i in range(num_nodes - 1)])
+
+
+def complete(num_nodes: int, *, self_loops: bool = False) -> DiGraph:
+    """The complete directed graph on ``num_nodes`` nodes."""
+    _require_positive("num_nodes", num_nodes)
+    edges = [
+        (u, v)
+        for u in range(num_nodes)
+        for v in range(num_nodes)
+        if self_loops or u != v
+    ]
+    return DiGraph(num_nodes, edges)
+
+
+# --------------------------------------------------------------------------- #
+# Random models
+# --------------------------------------------------------------------------- #
+def erdos_renyi(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    symmetrize: bool = False,
+) -> DiGraph:
+    """A G(n, m)-style random directed graph with ``num_edges`` distinct edges."""
+    _require_positive("num_nodes", num_nodes)
+    if num_edges < 0:
+        raise ParameterError(f"num_edges must be non-negative, got {num_edges}")
+    max_edges = num_nodes * (num_nodes - 1)
+    if num_edges > max_edges:
+        raise ParameterError(
+            f"num_edges={num_edges} exceeds the maximum {max_edges} for "
+            f"{num_nodes} nodes"
+        )
+    rng = _rng(seed)
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < num_edges:
+        batch = rng.integers(0, num_nodes, size=(2 * (num_edges - len(edges)) + 8, 2))
+        for u, v in batch:
+            if u != v:
+                edges.add((int(u), int(v)))
+            if len(edges) >= num_edges:
+                break
+    if symmetrize:
+        edges |= {(v, u) for u, v in edges}
+    return DiGraph(num_nodes, edges)
+
+
+def preferential_attachment(
+    num_nodes: int,
+    edges_per_node: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    symmetrize: bool = False,
+) -> DiGraph:
+    """A Barabási–Albert-style graph with heavy-tailed in-degrees.
+
+    Each new node attaches ``edges_per_node`` outgoing edges to existing nodes
+    chosen proportionally to their current in-degree (plus one).  This mimics
+    citation and web graphs where a few pages accumulate most links.
+    """
+    _require_positive("num_nodes", num_nodes)
+    _require_positive("edges_per_node", edges_per_node)
+    rng = _rng(seed)
+    edges: list[tuple[int, int]] = []
+    # Repeated-target list implements preferential selection in O(1) per draw.
+    targets: list[int] = [0]
+    for new_node in range(1, num_nodes):
+        attach_count = min(edges_per_node, new_node)
+        chosen: set[int] = set()
+        while len(chosen) < attach_count:
+            pick = targets[int(rng.integers(0, len(targets)))]
+            chosen.add(pick)
+        for target in chosen:
+            edges.append((new_node, target))
+            targets.append(target)
+        targets.append(new_node)
+    if symmetrize:
+        edges.extend((v, u) for u, v in list(edges))
+    return DiGraph(num_nodes, edges)
+
+
+def copying_model(
+    num_nodes: int,
+    out_degree: int,
+    *,
+    copy_probability: float = 0.5,
+    seed: int | np.random.Generator | None = None,
+) -> DiGraph:
+    """The Kleinberg copying model used to mimic web-crawl graphs.
+
+    Each new node picks a random *prototype* node; every outgoing link either
+    copies one of the prototype's out-links (with ``copy_probability``) or
+    points to a uniformly random earlier node.  The model produces the
+    power-law in-degrees and locally dense link structure characteristic of
+    web graphs such as In-2004 and Indochina.
+    """
+    _require_positive("num_nodes", num_nodes)
+    _require_positive("out_degree", out_degree)
+    if not 0.0 <= copy_probability <= 1.0:
+        raise ParameterError(
+            f"copy_probability must be in [0, 1], got {copy_probability}"
+        )
+    rng = _rng(seed)
+    out_lists: list[list[int]] = [[] for _ in range(num_nodes)]
+    edges: list[tuple[int, int]] = []
+    for new_node in range(1, num_nodes):
+        prototype = int(rng.integers(0, new_node))
+        prototype_links = out_lists[prototype]
+        for slot in range(min(out_degree, new_node)):
+            if prototype_links and rng.random() < copy_probability:
+                target = prototype_links[int(rng.integers(0, len(prototype_links)))]
+            else:
+                target = int(rng.integers(0, new_node))
+            if target != new_node and target not in out_lists[new_node]:
+                out_lists[new_node].append(target)
+                edges.append((new_node, target))
+    return DiGraph(num_nodes, edges)
+
+
+def small_world(
+    num_nodes: int,
+    nearest_neighbors: int,
+    *,
+    rewire_probability: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> DiGraph:
+    """A Watts–Strogatz-style symmetric small-world graph.
+
+    Stands in for collaboration networks (GrQc, HepTh) whose structure is a
+    locally clustered, undirected graph.
+    """
+    _require_positive("num_nodes", num_nodes)
+    _require_positive("nearest_neighbors", nearest_neighbors)
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ParameterError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    rng = _rng(seed)
+    half = max(1, nearest_neighbors // 2)
+    edges: set[tuple[int, int]] = set()
+    for node in range(num_nodes):
+        for offset in range(1, half + 1):
+            neighbor = (node + offset) % num_nodes
+            if rng.random() < rewire_probability:
+                neighbor = int(rng.integers(0, num_nodes))
+                if neighbor == node:
+                    neighbor = (node + offset) % num_nodes
+            if neighbor != node:
+                edges.add((node, neighbor))
+                edges.add((neighbor, node))
+    return DiGraph(num_nodes, edges)
+
+
+def two_level_community(
+    num_communities: int,
+    community_size: int,
+    *,
+    intra_edges_per_node: int = 4,
+    inter_edges_per_community: int = 2,
+    seed: int | np.random.Generator | None = None,
+) -> DiGraph:
+    """A planted-community graph (dense blocks, sparse bridges).
+
+    Useful for examples: nodes in the same community have visibly higher
+    SimRank than nodes in different communities.
+    """
+    _require_positive("num_communities", num_communities)
+    _require_positive("community_size", community_size)
+    rng = _rng(seed)
+    num_nodes = num_communities * community_size
+    edges: set[tuple[int, int]] = set()
+    for community in range(num_communities):
+        base = community * community_size
+        for node in range(base, base + community_size):
+            for _ in range(intra_edges_per_node):
+                target = base + int(rng.integers(0, community_size))
+                if target != node:
+                    edges.add((node, target))
+                    edges.add((target, node))
+        for _ in range(inter_edges_per_community):
+            other = int(rng.integers(0, num_communities))
+            if other == community:
+                continue
+            u = base + int(rng.integers(0, community_size))
+            v = other * community_size + int(rng.integers(0, community_size))
+            edges.add((u, v))
+            edges.add((v, u))
+    return DiGraph(num_nodes, edges)
+
+
+def random_dag(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> DiGraph:
+    """A random DAG (every edge goes from a higher to a lower node id).
+
+    DAGs guarantee the presence of zero-in-degree nodes, the boundary case
+    where √c-walks terminate immediately and ``d_k = 1``.
+    """
+    _require_positive("num_nodes", num_nodes)
+    if num_edges < 0:
+        raise ParameterError(f"num_edges must be non-negative, got {num_edges}")
+    rng = _rng(seed)
+    edges: set[tuple[int, int]] = set()
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    target_count = min(num_edges, max_edges)
+    while len(edges) < target_count:
+        u = int(rng.integers(1, num_nodes))
+        v = int(rng.integers(0, u))
+        edges.add((u, v))
+    return DiGraph(num_nodes, edges)

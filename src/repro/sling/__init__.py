@@ -1,0 +1,66 @@
+"""SLING: the paper's primary contribution — a near-optimal SimRank index."""
+
+from .walks import SqrtCWalker, walks_meet
+from .sampling import (
+    BernoulliEstimate,
+    estimate_bernoulli_mean_adaptive,
+    estimate_bernoulli_mean_fixed,
+)
+from .correction import (
+    CorrectionEstimate,
+    estimate_all_correction_factors,
+    estimate_correction_factor,
+    exact_correction_factors,
+)
+from .hitting import (
+    HittingProbabilitySet,
+    build_hitting_sets,
+    exact_near_hops,
+    neighborhood_weight,
+    push_frontier,
+    reverse_push,
+)
+from .single_source import single_source_local_push
+from .parameters import SlingParameters, theorem1_error_bound
+from .optimizations import AccuracyEnhancer, SpaceReduction
+from .index import BuildStatistics, SlingIndex
+from .storage import (
+    DiskBackedIndex,
+    OutOfCoreBuildReport,
+    load_index,
+    out_of_core_build,
+    save_index,
+)
+from .parallel import build_with_thread_count, parallel_build
+
+__all__ = [
+    "SqrtCWalker",
+    "walks_meet",
+    "BernoulliEstimate",
+    "estimate_bernoulli_mean_adaptive",
+    "estimate_bernoulli_mean_fixed",
+    "CorrectionEstimate",
+    "estimate_all_correction_factors",
+    "estimate_correction_factor",
+    "exact_correction_factors",
+    "HittingProbabilitySet",
+    "build_hitting_sets",
+    "exact_near_hops",
+    "neighborhood_weight",
+    "push_frontier",
+    "reverse_push",
+    "single_source_local_push",
+    "SlingParameters",
+    "theorem1_error_bound",
+    "AccuracyEnhancer",
+    "SpaceReduction",
+    "BuildStatistics",
+    "SlingIndex",
+    "DiskBackedIndex",
+    "OutOfCoreBuildReport",
+    "load_index",
+    "out_of_core_build",
+    "save_index",
+    "build_with_thread_count",
+    "parallel_build",
+]

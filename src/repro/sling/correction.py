@@ -1,0 +1,204 @@
+"""Correction factors ``d_k`` (Sections 4.3 and 5.1).
+
+Lemma 4 rewrites SimRank as
+
+    s(v_i, v_j) = Σ_ℓ Σ_k  h^(ℓ)(v_i, v_k) · d_k · h^(ℓ)(v_j, v_k),
+
+where ``d_k`` is the probability that two independent √c-walks started at
+``v_k`` never meet again after step 0.  Equation (14) expresses ``d_k``
+through the pairwise SimRank of ``v_k``'s in-neighbours:
+
+    d_k = 1 - c/|I(v_k)| - c/|I(v_k)|² · Σ_{v_i ≠ v_j ∈ I(v_k)} s(v_i, v_j)
+
+This module provides
+
+* :func:`estimate_correction_factor` — the per-node Monte-Carlo estimator,
+  either with the fixed budget of Algorithm 1 or the adaptive budget of
+  Algorithm 4 (the default),
+* :func:`estimate_all_correction_factors` — the driver used by the index
+  builder, and
+* :func:`exact_correction_factors` — an exact computation from a ground-truth
+  SimRank matrix, used by tests and by the "exact D" mode of the
+  linearization baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..graphs import DiGraph
+from .sampling import (
+    BernoulliEstimate,
+    estimate_bernoulli_mean_adaptive_batch,
+    estimate_bernoulli_mean_fixed_batch,
+)
+from .walks import SqrtCWalker
+
+__all__ = [
+    "CorrectionEstimate",
+    "estimate_correction_factor",
+    "estimate_all_correction_factors",
+    "exact_correction_factors",
+]
+
+
+class CorrectionEstimate:
+    """Correction factor estimate for one node, with sampling metadata."""
+
+    __slots__ = ("node", "value", "num_samples", "adaptive_phase_used")
+
+    def __init__(
+        self, node: int, value: float, num_samples: int, adaptive_phase_used: bool
+    ) -> None:
+        self.node = node
+        self.value = value
+        self.num_samples = num_samples
+        self.adaptive_phase_used = adaptive_phase_used
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CorrectionEstimate(node={self.node}, value={self.value:.6f}, "
+            f"num_samples={self.num_samples})"
+        )
+
+
+def _correction_from_mu(c: float, in_degree: int, mu: float) -> float:
+    """Apply Equation (14): ``d_k = 1 - c/|I| - c·µ`` (clamped to [0, 1])."""
+    value = 1.0 - c / in_degree - c * mu
+    return min(1.0, max(0.0, value))
+
+
+def estimate_correction_factor(
+    walker: SqrtCWalker,
+    node: int,
+    epsilon_d: float,
+    delta_d: float,
+    *,
+    adaptive: bool = True,
+) -> CorrectionEstimate:
+    """Estimate ``d_k`` for a single node with at most ``epsilon_d`` error.
+
+    Parameters
+    ----------
+    walker:
+        √c-walk sampler over the input graph (also fixes the decay ``c``).
+    node:
+        The node ``v_k``.
+    epsilon_d:
+        Maximum additive error allowed in ``d̃_k``.
+    delta_d:
+        Failure probability of the estimate.
+    adaptive:
+        Use Algorithm 4 (adaptive sample budget, default) instead of the
+        fixed-budget Algorithm 1.
+
+    Notes
+    -----
+    Two structural short-circuits avoid sampling entirely:
+
+    * ``|I(v_k)| = 0``: both √c-walks stop at step 0, so ``d_k = 1`` exactly;
+    * ``|I(v_k)| = 1``: the walks can only meet by both advancing to the single
+      in-neighbour (probability ``c``), so ``d_k = 1 - c`` exactly.
+    """
+    if not 0.0 < epsilon_d < 1.0:
+        raise ParameterError(f"epsilon_d must be in (0, 1), got {epsilon_d}")
+    if not 0.0 < delta_d < 1.0:
+        raise ParameterError(f"delta_d must be in (0, 1), got {delta_d}")
+
+    graph = walker.graph
+    c = walker.c
+    in_neighbors = graph.in_neighbors(node)
+    in_degree = int(in_neighbors.shape[0])
+
+    if in_degree == 0:
+        return CorrectionEstimate(node, 1.0, 0, False)
+    if in_degree == 1:
+        return CorrectionEstimate(node, 1.0 - c, 0, False)
+
+    rng = walker._rng  # shared generator keeps the whole build reproducible
+
+    def sample_pair_meets(count: int) -> int:
+        """``count`` Bernoulli trials of the quantity µ in Equation (15).
+
+        Each trial picks an ordered pair of in-neighbours uniformly at random
+        and succeeds when the two nodes differ *and* their √c-walks meet.
+        """
+        firsts = in_neighbors[rng.integers(0, in_degree, size=count)]
+        seconds = in_neighbors[rng.integers(0, in_degree, size=count)]
+        distinct = firsts != seconds
+        if not distinct.any():
+            return 0
+        return walker.count_meeting_pairs(firsts[distinct], seconds[distinct])
+
+    # The correction factor tolerates epsilon_d error when µ is estimated with
+    # epsilon_d / c error (Section 4.3).
+    mu_epsilon = epsilon_d / c
+    estimate: BernoulliEstimate
+    if adaptive:
+        estimate = estimate_bernoulli_mean_adaptive_batch(
+            sample_pair_meets, mu_epsilon, delta_d
+        )
+    else:
+        estimate = estimate_bernoulli_mean_fixed_batch(
+            sample_pair_meets, mu_epsilon, delta_d
+        )
+
+    value = _correction_from_mu(c, in_degree, estimate.mean)
+    return CorrectionEstimate(
+        node, value, estimate.num_samples, estimate.adaptive_phase_used
+    )
+
+
+def estimate_all_correction_factors(
+    walker: SqrtCWalker,
+    epsilon_d: float,
+    delta_d: float,
+    *,
+    adaptive: bool = True,
+    nodes: "np.ndarray | list[int] | None" = None,
+) -> np.ndarray:
+    """Estimate ``d_k`` for every node (or the given subset).
+
+    Returns an ``(n,)`` float array indexed by node id; entries for nodes not
+    in ``nodes`` (when a subset is given) are left as ``NaN`` so that partial
+    results from parallel workers can be merged safely.
+    """
+    graph = walker.graph
+    values = np.full(graph.num_nodes, np.nan, dtype=np.float64)
+    node_iter = graph.nodes() if nodes is None else nodes
+    for node in node_iter:
+        values[int(node)] = estimate_correction_factor(
+            walker, int(node), epsilon_d, delta_d, adaptive=adaptive
+        ).value
+    return values
+
+
+def exact_correction_factors(
+    graph: DiGraph, simrank_matrix: np.ndarray, c: float
+) -> np.ndarray:
+    """Compute every ``d_k`` exactly from a ground-truth SimRank matrix.
+
+    Implements Equation (14) directly.  ``simrank_matrix`` must be the
+    ``(n, n)`` matrix of exact (or near-exact) SimRank scores, typically from
+    :class:`repro.baselines.power.PowerMethod`.
+    """
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+    n = graph.num_nodes
+    if simrank_matrix.shape != (n, n):
+        raise ParameterError(
+            f"simrank_matrix must have shape ({n}, {n}), got {simrank_matrix.shape}"
+        )
+    values = np.ones(n, dtype=np.float64)
+    for node in graph.nodes():
+        in_neighbors = graph.in_neighbors(node)
+        in_degree = int(in_neighbors.shape[0])
+        if in_degree == 0:
+            values[node] = 1.0
+            continue
+        block = simrank_matrix[np.ix_(in_neighbors, in_neighbors)]
+        off_diagonal_sum = float(block.sum() - np.trace(block))
+        mu = off_diagonal_sum / (in_degree * in_degree)
+        values[node] = _correction_from_mu(c, in_degree, mu)
+    return values

@@ -1,0 +1,348 @@
+"""Hitting probabilities and their local-push construction (Section 4.4).
+
+The hitting probability ``h^(ℓ)(v_i, v_k)`` is the probability that a √c-walk
+from ``v_i`` occupies ``v_k`` at step ``ℓ``.  SLING stores, for every node
+``v_i``, the set ``H(v_i)`` of hitting probabilities larger than a threshold
+``θ``; Observation 1 bounds ``|H(v_i)|`` by ``O(1/θ)``.
+
+This module provides
+
+* :class:`HittingProbabilitySet` — the per-node container used by the index,
+* :func:`reverse_push` — the per-target local-update traversal that is the
+  body of Algorithm 2 (and is reused, slightly modified, by the single-source
+  Algorithm 6),
+* :func:`build_hitting_sets` — Algorithm 2 proper: run the reverse push from
+  every node and transpose the results into per-source sets ``H(v_i)``,
+* :func:`exact_near_hops` — Algorithm 5: exact step-1 / step-2 hitting
+  probabilities computed on the fly (used by the Section 5.2 space reduction).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..graphs import DiGraph
+
+__all__ = [
+    "HittingProbabilitySet",
+    "push_frontier",
+    "reverse_push",
+    "build_hitting_sets",
+    "exact_near_hops",
+    "neighborhood_weight",
+]
+
+_LevelMap = dict[int, dict[int, float]]
+
+
+class HittingProbabilitySet:
+    """The set ``H(v)`` of approximate hitting probabilities of one node.
+
+    Entries are stored grouped by step: ``levels[ℓ][v_k] = h̃^(ℓ)(v, v_k)``.
+    The container is the unit of storage of the SLING index — it is what the
+    out-of-core store serialises per node and what both query algorithms
+    consume.
+    """
+
+    __slots__ = ("_levels",)
+
+    def __init__(self, levels: Mapping[int, Mapping[int, float]] | None = None) -> None:
+        self._levels: _LevelMap = {}
+        if levels:
+            for level, entries in levels.items():
+                if entries:
+                    self._levels[int(level)] = {
+                        int(node): float(value) for node, value in entries.items()
+                    }
+
+    # ------------------------------------------------------------------ #
+    # Mutation (used only during index construction)
+    # ------------------------------------------------------------------ #
+    def add(self, level: int, target: int, value: float) -> None:
+        """Insert or accumulate one hitting probability."""
+        bucket = self._levels.setdefault(int(level), {})
+        bucket[int(target)] = bucket.get(int(target), 0.0) + float(value)
+
+    def set(self, level: int, target: int, value: float) -> None:
+        """Insert or overwrite one hitting probability."""
+        self._levels.setdefault(int(level), {})[int(target)] = float(value)
+
+    def drop_levels(self, levels: Iterable[int]) -> None:
+        """Remove whole levels (used by the Section 5.2 space reduction)."""
+        for level in list(levels):
+            self._levels.pop(int(level), None)
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+    @property
+    def levels(self) -> _LevelMap:
+        """The underlying ``{level: {target: value}}`` mapping (do not mutate)."""
+        return self._levels
+
+    def get(self, level: int, target: int, default: float = 0.0) -> float:
+        """Return ``h̃^(level)(v, target)`` or ``default`` when absent."""
+        return self._levels.get(int(level), {}).get(int(target), default)
+
+    def items(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over ``(level, target, value)`` triples."""
+        for level, entries in self._levels.items():
+            for target, value in entries.items():
+                yield level, target, value
+
+    def level_items(self, level: int) -> dict[int, float]:
+        """The entries of one level (empty dict when the level is absent)."""
+        return self._levels.get(int(level), {})
+
+    def max_level(self) -> int:
+        """The largest step index present (``-1`` for an empty set)."""
+        return max(self._levels, default=-1)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._levels.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HittingProbabilitySet):
+            return NotImplemented
+        return self._levels == other._levels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HittingProbabilitySet(num_entries={len(self)})"
+
+    def total_mass(self, level: int) -> float:
+        """Sum of stored probabilities at ``level`` (≤ (√c)^level by Lemma 7)."""
+        return float(sum(self._levels.get(int(level), {}).values()))
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size: 12 bytes per entry (level, node, value).
+
+        This matches the packed on-disk layout of
+        :mod:`repro.sling.storage` and is what the space benchmarks report,
+        rather than the (much larger) CPython dict overhead.
+        """
+        return 12 * len(self)
+
+    def deep_size_bytes(self) -> int:
+        """In-memory footprint including Python object overhead."""
+        total = sys.getsizeof(self._levels)
+        for level, entries in self._levels.items():
+            total += sys.getsizeof(level) + sys.getsizeof(entries)
+            total += sum(sys.getsizeof(k) + sys.getsizeof(v) for k, v in entries.items())
+        return total
+
+    def copy(self) -> "HittingProbabilitySet":
+        """Deep copy (levels and entries)."""
+        return HittingProbabilitySet(
+            {level: dict(entries) for level, entries in self._levels.items()}
+        )
+
+    def merged_with(self, other: "HittingProbabilitySet") -> "HittingProbabilitySet":
+        """Return a new set whose entries are ``self`` overridden by ``other``."""
+        merged = self.copy()
+        for level, target, value in other.items():
+            merged.set(level, target, value)
+        return merged
+
+
+# --------------------------------------------------------------------------- #
+# Shared forward-expansion primitive
+# --------------------------------------------------------------------------- #
+def push_frontier(
+    graph: DiGraph,
+    frontier_nodes: "np.ndarray",
+    frontier_values: "np.ndarray",
+    sqrt_c: float,
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Push a weighted frontier one step along out-edges.
+
+    For every frontier node ``v_x`` with mass ``w`` and every out-neighbour
+    ``v_y`` of ``v_x``, the result accumulates ``√c · w / |I(v_y)|`` at
+    ``v_y``.  This single scatter step is the inner loop shared by
+    Algorithm 2 (reverse push), Algorithm 6 (single-source local push) and the
+    accuracy-enhancement expansion; it is fully vectorised over the frontier's
+    out-edges.
+
+    Returns the new frontier as ``(nodes, values)`` arrays (possibly empty).
+    """
+    out_indptr, out_indices = graph.out_csr()
+    in_degrees = graph.in_degrees()
+    starts = out_indptr[frontier_nodes]
+    counts = out_indptr[frontier_nodes + 1] - starts
+    total_edges = int(counts.sum())
+    if total_edges == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64)
+    edge_offsets = np.repeat(starts, counts) + (
+        np.arange(total_edges, dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    successors = out_indices[edge_offsets]
+    contributions = (
+        sqrt_c * np.repeat(frontier_values, counts) / in_degrees[successors]
+    )
+    buffer = np.zeros(graph.num_nodes, dtype=np.float64)
+    np.add.at(buffer, successors, contributions)
+    next_nodes = np.flatnonzero(buffer)
+    return next_nodes, buffer[next_nodes]
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 2: reverse local push
+# --------------------------------------------------------------------------- #
+def reverse_push(
+    graph: DiGraph,
+    target: int,
+    sqrt_c: float,
+    theta: float,
+    *,
+    max_levels: int | None = None,
+) -> _LevelMap:
+    """Reverse local-push traversal from ``target`` (the body of Algorithm 2).
+
+    Returns ``{ℓ: {v_x: h̃^(ℓ)(v_x, target)}}`` containing every approximate
+    hitting probability *to* ``target`` that exceeds ``theta``.  Entries at or
+    below ``theta`` are pruned and not propagated, which yields the one-sided
+    error bound of Lemma 7:
+
+        0 ≥ h̃^(ℓ) - h^(ℓ) ≥ -θ (1 - (√c)^ℓ) / (1 - √c).
+
+    Parameters
+    ----------
+    graph, target:
+        The graph and the node all returned probabilities point to.
+    sqrt_c:
+        ``√c`` — the continuation probability of a √c-walk.
+    theta:
+        Pruning threshold ``θ``; must be positive so the traversal terminates.
+    max_levels:
+        Optional hard cap on the number of levels (used by tests; the natural
+        geometric decay of the residuals terminates the loop on its own).
+    """
+    if theta <= 0.0:
+        raise ParameterError(f"theta must be positive, got {theta}")
+    if not 0.0 < sqrt_c < 1.0:
+        raise ParameterError(f"sqrt_c must be in (0, 1), got {sqrt_c}")
+    graph.in_degree(target)  # validates the node id
+
+    result: _LevelMap = {}
+
+    # The frontier is kept as (node ids, values); propagation scatters the
+    # contributions into a dense buffer, which keeps the per-level work fully
+    # vectorised (the bulk of Algorithm 2's O(m/θ) cost).
+    frontier_nodes = np.array([int(target)], dtype=np.int64)
+    frontier_values = np.array([1.0], dtype=np.float64)
+    level = 0
+    while frontier_nodes.size:
+        if max_levels is not None and level >= max_levels:
+            break
+        keep = frontier_values > theta
+        kept_nodes = frontier_nodes[keep]
+        kept_values = frontier_values[keep]
+        if kept_nodes.size == 0:
+            break
+        result[level] = dict(zip(kept_nodes.tolist(), kept_values.tolist()))
+        frontier_nodes, frontier_values = push_frontier(
+            graph, kept_nodes, kept_values, sqrt_c
+        )
+        level += 1
+    return result
+
+
+def build_hitting_sets(
+    graph: DiGraph,
+    sqrt_c: float,
+    theta: float,
+    *,
+    targets: Iterable[int] | None = None,
+) -> list[HittingProbabilitySet]:
+    """Algorithm 2: build ``H(v_i)`` for every node of the graph.
+
+    Runs :func:`reverse_push` from every target node ``v_k`` and transposes
+    the per-target results into per-source sets: an entry
+    ``h̃^(ℓ)(v_x, v_k)`` produced by the push from ``v_k`` is inserted into
+    ``H(v_x)``.
+
+    ``targets`` restricts the set of push sources (used by the parallel
+    builder to split work); the returned list still has one entry per graph
+    node, with nodes never reached left empty.
+    """
+    hitting_sets = [HittingProbabilitySet() for _ in range(graph.num_nodes)]
+    target_iter = graph.nodes() if targets is None else targets
+    for target in target_iter:
+        per_level = reverse_push(graph, int(target), sqrt_c, theta)
+        for level, entries in per_level.items():
+            for source, value in entries.items():
+                hitting_sets[source].set(level, int(target), value)
+    return hitting_sets
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 5: exact step-1 / step-2 hitting probabilities
+# --------------------------------------------------------------------------- #
+def exact_near_hops(graph: DiGraph, node: int, sqrt_c: float) -> _LevelMap:
+    """Algorithm 5: exact hitting probabilities from ``node`` at steps 0-2.
+
+    A √c-walk from ``v_i`` hits in-neighbour ``v_x`` at step 1 with
+    probability ``√c / |I(v_i)|`` and, through ``v_x``, hits ``v_y ∈ I(v_x)``
+    at step 2 with probability ``√c · h^(1)(v_i, v_x) / |I(v_x)|``.  These are
+    exact values, so substituting them for the pruned approximations can only
+    improve accuracy (Section 5.2).
+
+    Returns ``{0: {node: 1.0}, 1: {...}, 2: {...}}`` (levels with no entries
+    are omitted).
+    """
+    if not 0.0 < sqrt_c < 1.0:
+        raise ParameterError(f"sqrt_c must be in (0, 1), got {sqrt_c}")
+    result: _LevelMap = {0: {int(node): 1.0}}
+    in_neighbors = graph.in_neighbors(node)
+    if in_neighbors.shape[0] == 0:
+        return result
+    step_one_value = sqrt_c / in_neighbors.shape[0]
+    step_one: dict[int, float] = {}
+    step_two: dict[int, float] = {}
+    for first_hop in in_neighbors:
+        first_hop = int(first_hop)
+        step_one[first_hop] = step_one.get(first_hop, 0.0) + step_one_value
+        second_neighbors = graph.in_neighbors(first_hop)
+        if second_neighbors.shape[0] == 0:
+            continue
+        step_two_value = sqrt_c * step_one_value / second_neighbors.shape[0]
+        for second_hop in second_neighbors:
+            second_hop = int(second_hop)
+            step_two[second_hop] = step_two.get(second_hop, 0.0) + step_two_value
+    if step_one:
+        result[1] = step_one
+    if step_two:
+        result[2] = step_two
+    return result
+
+
+def neighborhood_weight(graph: DiGraph, node: int) -> int:
+    """``η(v_i) = |I(v_i)| + Σ_{v_x ∈ I(v_i)} |I(v_x)|`` (Section 5.2).
+
+    The cost of running Algorithm 5 from ``node`` is linear in this quantity;
+    the space reduction only drops step-1/2 entries when ``η(v_i)`` is small
+    enough that the on-the-fly recomputation stays within the query budget.
+    """
+    in_neighbors = graph.in_neighbors(node)
+    in_degrees = graph.in_degrees()
+    return int(in_neighbors.shape[0] + in_degrees[in_neighbors].sum())
+
+
+def theoretical_error_bound(sqrt_c: float, theta: float, level: int) -> float:
+    """The Lemma-7 bound ``θ (1 - (√c)^ℓ) / (1 - √c)`` on the HP error."""
+    return theta * (1.0 - sqrt_c**level) / (1.0 - sqrt_c)
+
+
+def expected_set_size_bound(sqrt_c: float, theta: float) -> float:
+    """Observation-1 bound on ``Σ_ℓ`` of retainable entries, ``1 / ((1-√c)θ)``."""
+    if theta <= 0:
+        raise ParameterError(f"theta must be positive, got {theta}")
+    return 1.0 / ((1.0 - sqrt_c) * theta)
+
+
+__all__.extend(["theoretical_error_bound", "expected_set_size_bound"])

@@ -1,0 +1,430 @@
+"""The SLING index (Sections 4-6 of the paper).
+
+:class:`SlingIndex` ties together the building blocks of the other modules:
+
+* correction factors ``d̃_k`` estimated by √c-walk sampling
+  (:mod:`repro.sling.correction`, Algorithms 1 / 4),
+* per-node hitting-probability sets ``H(v)`` built by reverse local push
+  (:mod:`repro.sling.hitting`, Algorithm 2),
+* the optional space-reduction and accuracy-enhancement optimizations
+  (:mod:`repro.sling.optimizations`, Sections 5.2 / 5.3),
+
+and exposes the two query primitives of the paper:
+
+* :meth:`SlingIndex.single_pair` — Algorithm 3, ``O(1/ε)`` time,
+* :meth:`SlingIndex.single_source` — Algorithm 6 (local push) or the naive
+  n-fold application of Algorithm 3.
+
+Every returned score carries the Theorem-1 guarantee: additive error at most
+``ε`` with probability at least ``1 - δ`` over the randomness of the build.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import IndexNotBuiltError, ParameterError
+from ..graphs import DiGraph
+from .correction import estimate_all_correction_factors
+from .hitting import HittingProbabilitySet, build_hitting_sets
+from .optimizations import AccuracyEnhancer, SpaceReduction
+from .parameters import SlingParameters
+from .single_source import single_source_local_push
+from .walks import SqrtCWalker
+
+__all__ = ["SlingIndex", "BuildStatistics"]
+
+
+@dataclass
+class BuildStatistics:
+    """Timings and size accounting collected while building the index."""
+
+    correction_seconds: float = 0.0
+    hitting_seconds: float = 0.0
+    optimization_seconds: float = 0.0
+    total_seconds: float = 0.0
+    num_hitting_entries: int = 0
+    num_reduced_nodes: int = 0
+    workers: int = 1
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"build took {self.total_seconds:.3f}s "
+            f"(corrections {self.correction_seconds:.3f}s, "
+            f"hitting sets {self.hitting_seconds:.3f}s, "
+            f"optimizations {self.optimization_seconds:.3f}s); "
+            f"{self.num_hitting_entries} stored hitting probabilities, "
+            f"{self.num_reduced_nodes} space-reduced nodes, "
+            f"{self.workers} worker(s)"
+        )
+
+
+class SlingIndex:
+    """SimRank index with near-optimal query time and provable accuracy.
+
+    Parameters
+    ----------
+    graph:
+        The directed input graph.
+    c:
+        SimRank decay factor (paper default ``0.6``).
+    epsilon:
+        Worst-case additive error of every returned SimRank score
+        (paper default ``0.025``).
+    delta:
+        Failure probability of preprocessing; defaults to ``1/n`` as in the
+        paper's experiments.
+    seed:
+        Seed for the √c-walk sampling used by the correction-factor
+        estimators.
+    adaptive_correction:
+        Use Algorithm 4 (adaptive sampling, default) instead of Algorithm 1.
+    reduce_space:
+        Enable the Section-5.2 space reduction.
+    enhance_accuracy:
+        Enable the Section-5.3 accuracy enhancement.
+    error_split:
+        Fraction of the error budget assigned to correction factors (the rest
+        goes to the hitting probabilities); see :class:`SlingParameters`.
+    parameters:
+        A fully resolved :class:`SlingParameters` instance; overrides
+        ``c`` / ``epsilon`` / ``delta`` / ``error_split`` when given.
+
+    Examples
+    --------
+    >>> from repro.graphs import generators
+    >>> from repro.sling import SlingIndex
+    >>> graph = generators.cycle(8)
+    >>> index = SlingIndex(graph, epsilon=0.05, seed=7).build()
+    >>> round(index.single_pair(0, 0), 3)
+    1.0
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        c: float = 0.6,
+        epsilon: float = 0.025,
+        delta: float | None = None,
+        seed: int | None = None,
+        adaptive_correction: bool = True,
+        reduce_space: bool = False,
+        enhance_accuracy: bool = False,
+        error_split: float = 0.5,
+        parameters: SlingParameters | None = None,
+    ) -> None:
+        if graph.num_nodes == 0:
+            raise ParameterError("cannot index an empty graph")
+        self._graph = graph
+        if parameters is None:
+            parameters = SlingParameters.from_accuracy_target(
+                num_nodes=graph.num_nodes,
+                c=c,
+                epsilon=epsilon,
+                delta=delta,
+                error_split=error_split,
+            )
+        self._params = parameters
+        self._seed = seed
+        self._adaptive_correction = adaptive_correction
+        self._reduce_space = reduce_space
+        self._enhance_accuracy = enhance_accuracy
+
+        self._corrections: np.ndarray | None = None
+        self._hitting_sets: list[HittingProbabilitySet] | None = None
+        self._reduced: np.ndarray | None = None
+        self._space_reduction: SpaceReduction | None = None
+        self._enhancer: AccuracyEnhancer | None = None
+        self._build_stats: BuildStatistics | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> DiGraph:
+        """The indexed graph."""
+        return self._graph
+
+    @property
+    def parameters(self) -> SlingParameters:
+        """The resolved parameter set (ε, θ, ε_d, ...)."""
+        return self._params
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._corrections is not None and self._hitting_sets is not None
+
+    @property
+    def build_statistics(self) -> BuildStatistics:
+        """Timings and sizes from the last :meth:`build` call."""
+        if self._build_stats is None:
+            raise IndexNotBuiltError("SLING index")
+        return self._build_stats
+
+    @property
+    def correction_factors(self) -> np.ndarray:
+        """The estimated correction factors ``d̃_k`` as an ``(n,)`` array."""
+        self._require_built()
+        assert self._corrections is not None
+        return self._corrections
+
+    @property
+    def hitting_sets(self) -> list[HittingProbabilitySet]:
+        """The stored per-node hitting-probability sets ``H(v)``."""
+        self._require_built()
+        assert self._hitting_sets is not None
+        return self._hitting_sets
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise IndexNotBuiltError("SLING index")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "built" if self.is_built else "not built"
+        return (
+            f"SlingIndex(n={self._graph.num_nodes}, m={self._graph.num_edges}, "
+            f"epsilon={self._params.epsilon}, {status})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def build(self, *, workers: int = 1) -> "SlingIndex":
+        """Build the index: correction factors, hitting sets, optimizations.
+
+        ``workers > 1`` parallelises both preprocessing phases over node
+        ranges with a process pool (Section 5.4); results are identical to a
+        sequential build up to the per-node sampling randomness.
+        Returns ``self`` so construction can be chained.
+        """
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        start_total = time.perf_counter()
+        params = self._params
+
+        if workers == 1:
+            start = time.perf_counter()
+            walker = SqrtCWalker(self._graph, params.c, seed=self._seed)
+            corrections = estimate_all_correction_factors(
+                walker,
+                params.epsilon_d,
+                params.delta_d,
+                adaptive=self._adaptive_correction,
+            )
+            correction_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            hitting_sets = build_hitting_sets(
+                self._graph, params.sqrt_c, params.theta
+            )
+            hitting_seconds = time.perf_counter() - start
+        else:
+            from .parallel import parallel_build
+
+            corrections, hitting_sets, correction_seconds, hitting_seconds = (
+                parallel_build(
+                    self._graph,
+                    params,
+                    workers=workers,
+                    seed=self._seed,
+                    adaptive_correction=self._adaptive_correction,
+                )
+            )
+
+        start = time.perf_counter()
+        reduced = None
+        num_reduced = 0
+        if self._reduce_space:
+            self._space_reduction = SpaceReduction(theta=params.theta)
+            reduced = self._space_reduction.apply(self._graph, hitting_sets)
+            num_reduced = int(reduced.sum())
+        enhancer = None
+        if self._enhance_accuracy:
+            enhancer = AccuracyEnhancer(self._graph, params.epsilon, params.sqrt_c)
+            enhancer.mark_all(hitting_sets)
+        optimization_seconds = time.perf_counter() - start
+
+        self._corrections = corrections
+        self._hitting_sets = hitting_sets
+        self._reduced = reduced
+        self._enhancer = enhancer
+        self._build_stats = BuildStatistics(
+            correction_seconds=correction_seconds,
+            hitting_seconds=hitting_seconds,
+            optimization_seconds=optimization_seconds,
+            total_seconds=time.perf_counter() - start_total,
+            num_hitting_entries=sum(len(hs) for hs in hitting_sets),
+            num_reduced_nodes=num_reduced,
+            workers=workers,
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Query-time hitting sets (with optimizations applied)
+    # ------------------------------------------------------------------ #
+    def query_hitting_set(self, node: int) -> HittingProbabilitySet:
+        """The hitting set actually used to answer a query from ``node``.
+
+        Applies, in order, the space-reduction reconstruction (exact step-1/2
+        values via Algorithm 5) and the accuracy enhancement ``H*(v)``.
+        """
+        self._require_built()
+        assert self._hitting_sets is not None
+        node = int(node)
+        self._graph.in_degree(node)  # validates the node id
+        effective = self._hitting_sets[node]
+        if (
+            self._reduced is not None
+            and self._space_reduction is not None
+            and self._reduced[node]
+        ):
+            effective = self._space_reduction.reconstruct(
+                self._graph, node, effective, self._params.sqrt_c
+            )
+        if self._enhancer is not None:
+            effective = self._enhancer.enhance(node, effective)
+        return effective
+
+    # ------------------------------------------------------------------ #
+    # Single-pair queries (Algorithm 3)
+    # ------------------------------------------------------------------ #
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        """Approximate SimRank ``s̃(u, v)`` with at most ``ε`` additive error.
+
+        Implements Algorithm 3: intersect ``H(u)`` and ``H(v)`` on (step,
+        node) positions and sum ``h̃^(ℓ)(u, k) · d̃_k · h̃^(ℓ)(v, k)``.
+        """
+        self._require_built()
+        assert self._corrections is not None
+        set_u = self.query_hitting_set(node_u)
+        set_v = self.query_hitting_set(node_v)
+        return self._intersect_score(set_u, set_v)
+
+    def _intersect_score(
+        self, set_u: HittingProbabilitySet, set_v: HittingProbabilitySet
+    ) -> float:
+        assert self._corrections is not None
+        corrections = self._corrections
+        score = 0.0
+        for level, entries_u in set_u.levels.items():
+            entries_v = set_v.levels.get(level)
+            if not entries_v:
+                continue
+            # Iterate over the smaller side of the intersection.
+            if len(entries_v) < len(entries_u):
+                entries_u, entries_v = entries_v, entries_u
+            for target, value_u in entries_u.items():
+                value_v = entries_v.get(target)
+                if value_v is not None:
+                    score += value_u * corrections[target] * value_v
+        return min(1.0, score)
+
+    # ------------------------------------------------------------------ #
+    # Single-source queries (Section 6)
+    # ------------------------------------------------------------------ #
+    def single_source(self, node: int, *, method: str = "local_push") -> np.ndarray:
+        """Approximate SimRank from ``node`` to every node, as an ``(n,)`` array.
+
+        Parameters
+        ----------
+        node:
+            The query (source) node.
+        method:
+            ``"local_push"`` runs Algorithm 6 (the recommended variant);
+            ``"pairwise"`` applies Algorithm 3 once per node — asymptotically
+            ``O(n/ε)`` but slower in practice, exactly as Figure 2 shows.
+        """
+        if method == "local_push":
+            return self._single_source_local_push(node)
+        if method == "pairwise":
+            return self._single_source_pairwise(node)
+        raise ParameterError(
+            f"unknown single-source method {method!r}; "
+            "expected 'local_push' or 'pairwise'"
+        )
+
+    def _single_source_pairwise(self, node: int) -> np.ndarray:
+        self._require_built()
+        scores = np.zeros(self._graph.num_nodes, dtype=np.float64)
+        set_u = self.query_hitting_set(node)
+        for other in self._graph.nodes():
+            scores[other] = self._intersect_score(
+                set_u, self.query_hitting_set(other)
+            )
+        return scores
+
+    def _single_source_local_push(self, node: int) -> np.ndarray:
+        """Algorithm 6: rebuild the relevant inverted lists on the fly."""
+        self._require_built()
+        assert self._corrections is not None
+        return single_source_local_push(
+            self._graph,
+            self.query_hitting_set(node),
+            self._corrections,
+            self._params.sqrt_c,
+            self._params.theta,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived queries
+    # ------------------------------------------------------------------ #
+    def top_k(self, node: int, k: int, *, method: str = "local_push") -> list[tuple[int, float]]:
+        """The ``k`` nodes most similar to ``node`` (excluding ``node`` itself)."""
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        scores = self.single_source(node, method=method)
+        scores = scores.copy()
+        scores[int(node)] = -np.inf
+        k = min(k, self._graph.num_nodes - 1)
+        if k <= 0:
+            return []
+        top_indices = np.argpartition(-scores, k - 1)[:k]
+        ranked = sorted(
+            ((int(i), float(scores[i])) for i in top_indices),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked
+
+    def all_pairs(self, *, method: str = "local_push") -> np.ndarray:
+        """All-pairs SimRank matrix computed one single-source query per node.
+
+        Intended for the accuracy experiments on small graphs (Figures 5-7);
+        memory is Θ(n²).
+        """
+        self._require_built()
+        n = self._graph.num_nodes
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for node in self._graph.nodes():
+            matrix[node] = self.single_source(node, method=method)
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Size accounting
+    # ------------------------------------------------------------------ #
+    def index_size_bytes(self) -> int:
+        """Serialized index size: correction factors plus all stored HP entries.
+
+        Matches the packed on-disk layout of :mod:`repro.sling.storage`
+        (8 bytes per correction factor, 12 bytes per hitting-probability
+        entry), which is the quantity Figure 4 of the paper reports.
+        """
+        self._require_built()
+        assert self._hitting_sets is not None
+        correction_bytes = 8 * self._graph.num_nodes
+        hitting_bytes = sum(hs.size_bytes() for hs in self._hitting_sets)
+        return correction_bytes + hitting_bytes
+
+    def average_set_size(self) -> float:
+        """Average number of stored hitting probabilities per node."""
+        self._require_built()
+        assert self._hitting_sets is not None
+        if not self._hitting_sets:
+            return 0.0
+        return sum(len(hs) for hs in self._hitting_sets) / len(self._hitting_sets)

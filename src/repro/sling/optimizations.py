@@ -1,0 +1,193 @@
+"""Practical optimizations of the SLING index (Sections 5.2 and 5.3).
+
+Two of the paper's optimizations change *what the index stores* and *what a
+query reads*, and therefore live next to the index rather than inside the
+construction algorithms:
+
+* **Space reduction** (Section 5.2): step-1 and step-2 hitting probabilities
+  can be recomputed exactly at query time with a two-hop traversal
+  (Algorithm 5).  For nodes whose two-hop in-neighbourhood is small —
+  ``η(v_i) ≤ γ / θ`` with ``γ = 10`` — the stored entries at those steps are
+  dropped, which empirically removes a large fraction of the index without
+  affecting the ``O(1/ε)`` query bound or the accuracy guarantee (the
+  recomputed values are exact).
+
+* **Accuracy enhancement** (Section 5.3): for each node a handful of stored
+  hitting probabilities are *marked*; at query time each marked entry is
+  expanded one extra step, generating hitting probabilities that the θ-pruning
+  had discarded.  The generated values never exceed the true ones, so accuracy
+  can only improve, and the expansion budget of ``1/√ε`` marks keeps the query
+  time at ``O(1/ε)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..graphs import DiGraph
+from .hitting import HittingProbabilitySet, exact_near_hops, neighborhood_weight
+
+__all__ = ["SpaceReduction", "AccuracyEnhancer", "DEFAULT_GAMMA"]
+
+#: The constant γ of Section 5.2: step-1/2 entries are dropped whenever the
+#: two-hop neighbourhood weight η(v) does not exceed γ / θ.
+DEFAULT_GAMMA: float = 10.0
+
+_REDUCIBLE_LEVELS: tuple[int, ...] = (1, 2)
+
+
+@dataclass(frozen=True)
+class SpaceReduction:
+    """Space-reduction policy (Section 5.2).
+
+    Attributes
+    ----------
+    theta:
+        The hitting-probability threshold of the index being reduced.
+    gamma:
+        The budget constant; the on-the-fly recomputation of a reduced node
+        costs ``O(η(v)) ≤ O(γ/θ) = O(1/ε)`` time.
+    """
+
+    theta: float
+    gamma: float = DEFAULT_GAMMA
+
+    def __post_init__(self) -> None:
+        if self.theta <= 0:
+            raise ParameterError(f"theta must be positive, got {self.theta}")
+        if self.gamma <= 0:
+            raise ParameterError(f"gamma must be positive, got {self.gamma}")
+
+    @property
+    def weight_budget(self) -> float:
+        """Maximum two-hop neighbourhood weight ``γ / θ`` eligible for reduction."""
+        return self.gamma / self.theta
+
+    def is_reducible(self, graph: DiGraph, node: int) -> bool:
+        """Whether ``node``'s step-1/2 entries may be dropped."""
+        return neighborhood_weight(graph, node) <= self.weight_budget
+
+    def apply(
+        self, graph: DiGraph, hitting_sets: list[HittingProbabilitySet]
+    ) -> np.ndarray:
+        """Drop step-1/2 entries in place for every reducible node.
+
+        Returns a boolean array marking which nodes were reduced; the index
+        keeps it so queries know when to call :func:`exact_near_hops`.
+        """
+        reduced = np.zeros(graph.num_nodes, dtype=bool)
+        for node in graph.nodes():
+            if self.is_reducible(graph, node):
+                hitting_sets[node].drop_levels(_REDUCIBLE_LEVELS)
+                reduced[node] = True
+        return reduced
+
+    def reconstruct(
+        self,
+        graph: DiGraph,
+        node: int,
+        stored: HittingProbabilitySet,
+        sqrt_c: float,
+    ) -> HittingProbabilitySet:
+        """Rebuild the full hitting set of a reduced node for one query.
+
+        The stored levels are combined with the *exact* step-0/1/2 values of
+        Algorithm 5; exact values take precedence over any stored
+        approximation at the same position.
+        """
+        exact = exact_near_hops(graph, node, sqrt_c)
+        rebuilt = stored.copy()
+        for level, entries in exact.items():
+            for target, value in entries.items():
+                rebuilt.set(level, target, value)
+        return rebuilt
+
+
+class AccuracyEnhancer:
+    """Query-time accuracy enhancement (Section 5.3).
+
+    Parameters
+    ----------
+    graph:
+        The indexed graph (needed to expand marked entries along in-edges).
+    epsilon:
+        The index error target; the mark budget and the in-degree cutoff are
+        both ``1/√ε``.
+    sqrt_c:
+        The √c continuation probability.
+    """
+
+    def __init__(self, graph: DiGraph, epsilon: float, sqrt_c: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0.0 < sqrt_c < 1.0:
+            raise ParameterError(f"sqrt_c must be in (0, 1), got {sqrt_c}")
+        self._graph = graph
+        self._sqrt_c = sqrt_c
+        self._budget = max(1, int(math.ceil(1.0 / math.sqrt(epsilon))))
+        self._marks: dict[int, list[tuple[int, int, float]]] = {}
+
+    @property
+    def mark_budget(self) -> int:
+        """Number of hitting probabilities marked per node, ``⌈1/√ε⌉``."""
+        return self._budget
+
+    def marks_for(self, node: int) -> list[tuple[int, int, float]]:
+        """The marked ``(level, target, value)`` entries of ``node``."""
+        return self._marks.get(int(node), [])
+
+    # ------------------------------------------------------------------ #
+    def mark_all(self, hitting_sets: list[HittingProbabilitySet]) -> None:
+        """Select the marked entries of every node (done once, at build time).
+
+        Only entries whose target has in-degree at most ``1/√ε`` are eligible
+        (expanding a high-in-degree target would blow the query budget); among
+        those the ``1/√ε`` largest are marked.
+        """
+        in_degrees = self._graph.in_degrees()
+        for node, hitting_set in enumerate(hitting_sets):
+            eligible = [
+                (level, target, value)
+                for level, target, value in hitting_set.items()
+                if in_degrees[target] <= self._budget
+            ]
+            eligible.sort(key=lambda item: item[2], reverse=True)
+            marked = eligible[: self._budget]
+            if marked:
+                self._marks[node] = marked
+
+    def enhance(
+        self, node: int, hitting_set: HittingProbabilitySet
+    ) -> HittingProbabilitySet:
+        """Return the enhanced set ``H*(v)`` used to answer one query.
+
+        Every marked entry ``h̃^(ℓ)(v, v_j)`` is pushed one step backwards
+        along the in-edges of ``v_j``: positions already present in the stored
+        set are left untouched (the stored approximation is at least as good),
+        new positions accumulate ``√c · h̃^(ℓ)(v, v_j) / |I(v_j)|``.
+        """
+        marks = self._marks.get(int(node))
+        if not marks:
+            return hitting_set
+        enhanced = hitting_set.copy()
+        generated: set[tuple[int, int]] = set()
+        for level, target, value in marks:
+            in_neighbors = self._graph.in_neighbors(target)
+            if in_neighbors.shape[0] == 0:
+                continue
+            contribution = self._sqrt_c * value / in_neighbors.shape[0]
+            for predecessor in in_neighbors:
+                predecessor = int(predecessor)
+                key = (level + 1, predecessor)
+                if hitting_set.get(level + 1, predecessor) > 0.0:
+                    continue
+                if key in generated:
+                    enhanced.add(level + 1, predecessor, contribution)
+                else:
+                    enhanced.set(level + 1, predecessor, contribution)
+                    generated.add(key)
+        return enhanced

@@ -1,0 +1,161 @@
+"""Parallel index construction (Section 5.4).
+
+Both preprocessing phases of SLING are embarrassingly parallel over nodes:
+
+* each correction factor ``d̃_k`` only needs √c-walks sampled from the
+  in-neighbours of ``v_k``,
+* each reverse local push (Algorithm 2) starts from a single target node and
+  touches only its forward-reachable region.
+
+``parallel_build`` splits the node range into contiguous chunks, processes the
+chunks in a :class:`concurrent.futures.ProcessPoolExecutor`, and merges the
+partial results.  Per-chunk random seeds are derived with
+``numpy.random.SeedSequence.spawn`` so a parallel build is reproducible for a
+fixed ``(seed, workers)`` pair.
+
+The module also exposes :func:`build_with_thread_count`, the measurement
+helper behind the Figure-9 "preprocessing time vs. number of threads"
+experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..graphs import DiGraph
+from .correction import estimate_all_correction_factors
+from .hitting import HittingProbabilitySet, build_hitting_sets
+from .parameters import SlingParameters
+from .walks import SqrtCWalker
+
+__all__ = ["parallel_build", "node_chunks", "build_with_thread_count"]
+
+# Worker-process globals, populated once per worker by the pool initializer so
+# the (potentially large) graph is not re-pickled for every task.
+_WORKER_GRAPH: DiGraph | None = None
+_WORKER_PARAMS: SlingParameters | None = None
+
+
+def node_chunks(num_nodes: int, num_chunks: int) -> list[range]:
+    """Split ``range(num_nodes)`` into at most ``num_chunks`` contiguous ranges."""
+    if num_nodes < 0:
+        raise ParameterError(f"num_nodes must be non-negative, got {num_nodes}")
+    if num_chunks < 1:
+        raise ParameterError(f"num_chunks must be >= 1, got {num_chunks}")
+    num_chunks = min(num_chunks, max(1, num_nodes))
+    bounds = np.linspace(0, num_nodes, num_chunks + 1, dtype=int)
+    return [
+        range(int(bounds[i]), int(bounds[i + 1]))
+        for i in range(num_chunks)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def _init_worker(graph: DiGraph, params: SlingParameters) -> None:
+    global _WORKER_GRAPH, _WORKER_PARAMS
+    _WORKER_GRAPH = graph
+    _WORKER_PARAMS = params
+
+
+def _correction_chunk(
+    chunk: range, seed_entropy: int, adaptive: bool
+) -> tuple[range, np.ndarray]:
+    assert _WORKER_GRAPH is not None and _WORKER_PARAMS is not None
+    rng = np.random.default_rng(np.random.SeedSequence(seed_entropy))
+    walker = SqrtCWalker(_WORKER_GRAPH, _WORKER_PARAMS.c, seed=rng)
+    values = estimate_all_correction_factors(
+        walker,
+        _WORKER_PARAMS.epsilon_d,
+        _WORKER_PARAMS.delta_d,
+        adaptive=adaptive,
+        nodes=chunk,
+    )
+    return chunk, values[chunk.start : chunk.stop]
+
+
+def _hitting_chunk(chunk: range) -> list[tuple[int, int, int, float]]:
+    assert _WORKER_GRAPH is not None and _WORKER_PARAMS is not None
+    partial_sets = build_hitting_sets(
+        _WORKER_GRAPH,
+        _WORKER_PARAMS.sqrt_c,
+        _WORKER_PARAMS.theta,
+        targets=chunk,
+    )
+    records: list[tuple[int, int, int, float]] = []
+    for source, hitting_set in enumerate(partial_sets):
+        for level, target, value in hitting_set.items():
+            records.append((source, level, target, value))
+    return records
+
+
+def parallel_build(
+    graph: DiGraph,
+    params: SlingParameters,
+    *,
+    workers: int,
+    seed: int | None = None,
+    adaptive_correction: bool = True,
+) -> tuple[np.ndarray, list[HittingProbabilitySet], float, float]:
+    """Build corrections and hitting sets with ``workers`` processes.
+
+    Returns ``(corrections, hitting_sets, correction_seconds, hitting_seconds)``
+    so the caller (:meth:`SlingIndex.build`) can fill its build statistics.
+    """
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    chunks = node_chunks(graph.num_nodes, workers * 4)
+    seed_sequence = np.random.SeedSequence(seed)
+    chunk_seeds = [int(child.entropy) for child in seed_sequence.spawn(len(chunks))]
+
+    corrections = np.full(graph.num_nodes, np.nan, dtype=np.float64)
+    hitting_sets = [HittingProbabilitySet() for _ in range(graph.num_nodes)]
+
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(graph, params)
+    ) as pool:
+        start = time.perf_counter()
+        correction_results = pool.map(
+            _correction_chunk,
+            chunks,
+            chunk_seeds,
+            [adaptive_correction] * len(chunks),
+        )
+        for chunk, values in correction_results:
+            corrections[chunk.start : chunk.stop] = values
+        correction_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for records in pool.map(_hitting_chunk, chunks):
+            for source, level, target, value in records:
+                hitting_sets[source].set(level, target, value)
+        hitting_seconds = time.perf_counter() - start
+
+    return corrections, hitting_sets, correction_seconds, hitting_seconds
+
+
+def build_with_thread_count(
+    graph: DiGraph,
+    params: SlingParameters,
+    workers: int,
+    *,
+    seed: int | None = None,
+) -> float:
+    """Measure the wall-clock preprocessing time with ``workers`` processes.
+
+    This is the Figure-9 experiment driver: it runs the full two-phase build
+    and returns elapsed seconds.
+    """
+    start = time.perf_counter()
+    if workers == 1:
+        walker = SqrtCWalker(graph, params.c, seed=seed)
+        estimate_all_correction_factors(
+            walker, params.epsilon_d, params.delta_d, adaptive=True
+        )
+        build_hitting_sets(graph, params.sqrt_c, params.theta)
+    else:
+        parallel_build(graph, params, workers=workers, seed=seed)
+    return time.perf_counter() - start

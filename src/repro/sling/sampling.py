@@ -1,0 +1,182 @@
+"""Adaptive Bernoulli-mean estimation (Section 5.1, Algorithm 4 generalized).
+
+Algorithm 1 of the paper estimates the mean ``µ`` of a Bernoulli variable with
+a fixed sample budget of ``O(ε⁻² log δ⁻¹)``.  Section 5.1 observes that when
+``µ`` is small — the common case for the correction-factor quantity of
+Equation (15) — far fewer samples suffice, and gives a two-phase scheme
+(Algorithm 4) that draws ``O((µ + ε) ε⁻² log δ⁻¹)`` samples, which Lemma 11
+shows is asymptotically optimal.
+
+The two estimators are exposed here as generic utilities over any 0/1 sampling
+callable so they can be reused (and unit tested) independently of √c-walks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "BernoulliEstimate",
+    "fixed_sample_count",
+    "estimate_bernoulli_mean_fixed",
+    "estimate_bernoulli_mean_adaptive",
+    "estimate_bernoulli_mean_fixed_batch",
+    "estimate_bernoulli_mean_adaptive_batch",
+]
+
+
+@dataclass(frozen=True)
+class BernoulliEstimate:
+    """Result of a Bernoulli-mean estimation.
+
+    Attributes
+    ----------
+    mean:
+        The estimated mean ``µ̃``.
+    num_samples:
+        Total number of samples drawn.
+    adaptive_phase_used:
+        ``True`` when the estimator had to enter the second (larger) sampling
+        phase of Algorithm 4; ``False`` when the first phase sufficed.
+    """
+
+    mean: float
+    num_samples: int
+    adaptive_phase_used: bool = False
+
+
+def _validate(epsilon: float, delta: float) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+
+
+def fixed_sample_count(epsilon: float, delta: float, *, scale: float = 1.0) -> int:
+    """Sample count used by Algorithm 1: ``(2·scale² + scale·ε) / ε² · log(2/δ)``.
+
+    With ``scale = c`` this is exactly the ``n_r`` of Algorithm 1 (the factor
+    ``c`` appears because the correction factor tolerates ``ε_d / c`` error in
+    ``µ``).  With ``scale = 1`` it is the plain Chernoff-bound budget.
+    """
+    _validate(epsilon, delta)
+    if scale <= 0:
+        raise ParameterError(f"scale must be positive, got {scale}")
+    count = (2.0 * scale * scale + scale * epsilon) / (epsilon * epsilon)
+    return max(1, math.ceil(count * math.log(2.0 / delta)))
+
+
+def estimate_bernoulli_mean_fixed(
+    sample: Callable[[], bool],
+    epsilon: float,
+    delta: float,
+) -> BernoulliEstimate:
+    """Estimate a Bernoulli mean with the fixed budget of Algorithm 1.
+
+    Guarantees ``|µ̃ - µ| ≤ ε`` with probability at least ``1 - δ``.
+    """
+    num_samples = fixed_sample_count(epsilon, delta)
+    successes = sum(1 for _ in range(num_samples) if sample())
+    return BernoulliEstimate(mean=successes / num_samples, num_samples=num_samples)
+
+
+def estimate_bernoulli_mean_adaptive(
+    sample: Callable[[], bool],
+    epsilon: float,
+    delta: float,
+) -> BernoulliEstimate:
+    """Estimate a Bernoulli mean with the adaptive scheme of Algorithm 4.
+
+    Phase one draws ``n_r = ceil(14 / (3ε) · log(4/δ))`` samples.  If the
+    interim estimate ``µ̂`` is at most ``ε`` it is returned directly;
+    otherwise the upper bound ``µ* = µ̂ + sqrt(µ̂ ε)`` determines the final
+    budget ``n_r* = ceil((2µ* + 2ε/3) / ε² · log(4/δ))`` and sampling
+    continues up to ``n_r*``.
+
+    Guarantees ``|µ̃ - µ| ≤ ε`` with probability at least ``1 - δ`` while
+    drawing only ``O((µ + ε) ε⁻² log δ⁻¹)`` samples in expectation (Lemmas 9
+    and 10).
+    """
+    _validate(epsilon, delta)
+    log_term = math.log(4.0 / delta)
+    first_budget = max(1, math.ceil(14.0 / (3.0 * epsilon) * log_term))
+    successes = sum(1 for _ in range(first_budget) if sample())
+    interim_mean = successes / first_budget
+    if interim_mean <= epsilon:
+        return BernoulliEstimate(
+            mean=interim_mean,
+            num_samples=first_budget,
+            adaptive_phase_used=False,
+        )
+
+    mean_upper_bound = interim_mean + math.sqrt(interim_mean * epsilon)
+    total_budget = math.ceil(
+        (2.0 * mean_upper_bound + 2.0 / 3.0 * epsilon)
+        / (epsilon * epsilon)
+        * log_term
+    )
+    total_budget = max(total_budget, first_budget)
+    successes += sum(1 for _ in range(total_budget - first_budget) if sample())
+    return BernoulliEstimate(
+        mean=successes / total_budget,
+        num_samples=total_budget,
+        adaptive_phase_used=True,
+    )
+
+
+def estimate_bernoulli_mean_fixed_batch(
+    sample_batch: Callable[[int], int],
+    epsilon: float,
+    delta: float,
+) -> BernoulliEstimate:
+    """Batch variant of :func:`estimate_bernoulli_mean_fixed`.
+
+    ``sample_batch(count)`` must draw ``count`` independent Bernoulli samples
+    and return the number of successes; drawing them in one call lets
+    vectorised samplers (e.g. √c-walk pair batches) amortise their overhead.
+    """
+    num_samples = fixed_sample_count(epsilon, delta)
+    successes = int(sample_batch(num_samples))
+    return BernoulliEstimate(mean=successes / num_samples, num_samples=num_samples)
+
+
+def estimate_bernoulli_mean_adaptive_batch(
+    sample_batch: Callable[[int], int],
+    epsilon: float,
+    delta: float,
+) -> BernoulliEstimate:
+    """Batch variant of :func:`estimate_bernoulli_mean_adaptive` (Algorithm 4).
+
+    Identical sampling schedule, but samples are requested through
+    ``sample_batch(count) -> num_successes`` so the caller can vectorise.
+    """
+    _validate(epsilon, delta)
+    log_term = math.log(4.0 / delta)
+    first_budget = max(1, math.ceil(14.0 / (3.0 * epsilon) * log_term))
+    successes = int(sample_batch(first_budget))
+    interim_mean = successes / first_budget
+    if interim_mean <= epsilon:
+        return BernoulliEstimate(
+            mean=interim_mean,
+            num_samples=first_budget,
+            adaptive_phase_used=False,
+        )
+
+    mean_upper_bound = interim_mean + math.sqrt(interim_mean * epsilon)
+    total_budget = math.ceil(
+        (2.0 * mean_upper_bound + 2.0 / 3.0 * epsilon)
+        / (epsilon * epsilon)
+        * log_term
+    )
+    total_budget = max(total_budget, first_budget)
+    if total_budget > first_budget:
+        successes += int(sample_batch(total_budget - first_budget))
+    return BernoulliEstimate(
+        mean=successes / total_budget,
+        num_samples=total_budget,
+        adaptive_phase_used=True,
+    )

@@ -1,0 +1,73 @@
+"""Single-source SimRank query processing (Algorithm 6, Section 6).
+
+Algorithm 6 avoids reading every other node's hitting set by rebuilding, on
+the fly, exactly the inverted lists the query needs: for every step ``ℓ`` and
+every node ``v_k`` with a stored hitting probability ``h̃^(ℓ)(v_i, v_k)``, the
+temporary score ``ρ^(0)(v_k) = h̃^(ℓ)(v_i, v_k) · d_k`` is pushed forward
+``ℓ`` steps along out-edges; the mass arriving at ``v_j`` equals
+``Σ_k h^(ℓ)(v_j, v_k) · d_k · h̃^(ℓ)(v_i, v_k)``, i.e. the step-ℓ contribution
+to ``s(v_i, v_j)``.  Scores smaller than ``(√c)^ℓ · θ`` are pruned during the
+push, which is what yields the ``O(m log² 1/ε)`` bound of Lemma 12.
+
+The function is shared by :class:`repro.sling.index.SlingIndex` and by the
+disk-backed query engine in :mod:`repro.sling.storage`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import DiGraph
+from .hitting import HittingProbabilitySet, push_frontier
+
+__all__ = ["single_source_local_push"]
+
+
+def single_source_local_push(
+    graph: DiGraph,
+    query_set: HittingProbabilitySet,
+    corrections: np.ndarray,
+    sqrt_c: float,
+    theta: float,
+) -> np.ndarray:
+    """Algorithm 6: SimRank from the query node to every node.
+
+    Parameters
+    ----------
+    graph:
+        The indexed graph.
+    query_set:
+        The (possibly reconstructed / enhanced) hitting set of the query node.
+    corrections:
+        The ``(n,)`` array of correction factors ``d̃_k``.
+    sqrt_c, theta:
+        The index parameters ``√c`` and ``θ``.
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``(n,)`` array of approximate SimRank scores, clamped to ``[0, 1]``.
+    """
+    scores = np.zeros(graph.num_nodes, dtype=np.float64)
+    for level, entries in sorted(query_set.levels.items()):
+        if not entries:
+            continue
+        frontier_nodes = np.fromiter(entries.keys(), dtype=np.int64, count=len(entries))
+        frontier_values = np.fromiter(
+            entries.values(), dtype=np.float64, count=len(entries)
+        )
+        # ρ^(0)(v_k) = h̃^(ℓ)(v_i, v_k) · d_k
+        frontier_values = frontier_values * corrections[frontier_nodes]
+        prune_threshold = (sqrt_c**level) * theta
+        for _ in range(level):
+            keep = frontier_values > prune_threshold
+            frontier_nodes = frontier_nodes[keep]
+            frontier_values = frontier_values[keep]
+            if frontier_nodes.size == 0:
+                break
+            frontier_nodes, frontier_values = push_frontier(
+                graph, frontier_nodes, frontier_values, sqrt_c
+            )
+        if frontier_nodes.size:
+            np.add.at(scores, frontier_nodes, frontier_values)
+    return np.minimum(scores, 1.0)

@@ -1,0 +1,399 @@
+"""Index persistence and out-of-core construction (Section 5.4).
+
+The paper notes that SLING does not need the whole index in main memory:
+
+* only the ``n`` correction factors must stay resident; the per-node hitting
+  sets ``H(v)`` can live on disk and be fetched with O(1) I/O per query,
+* during construction the per-target residual sets ``R_k`` can be streamed to
+  disk and an external sort by source node then produces the per-source sets.
+
+This module implements both sides:
+
+* :func:`save_index` / :func:`load_index` — a packed on-disk format
+  (numpy arrays + JSON metadata) for a built :class:`SlingIndex`,
+* :class:`DiskBackedIndex` — answers single-pair and single-source queries by
+  reading only the two (resp. one) required hitting sets from disk,
+* :func:`out_of_core_build` — Algorithm 2 with a bounded in-memory buffer:
+  records are spilled to sorted run files and merged, mimicking the Figure-10
+  experiment where the memory buffer is varied from 256 MB down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import struct
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ParameterError, StorageError
+from ..graphs import DiGraph
+from .correction import estimate_all_correction_factors
+from .hitting import HittingProbabilitySet, reverse_push
+from .index import SlingIndex
+from .parameters import SlingParameters
+from .single_source import single_source_local_push
+from .walks import SqrtCWalker
+
+__all__ = [
+    "save_index",
+    "load_index",
+    "DiskBackedIndex",
+    "out_of_core_build",
+    "OutOfCoreBuildReport",
+]
+
+_META_FILE = "sling_meta.json"
+_DATA_FILE = "sling_data.npz"
+#: On-disk size of one hitting-probability record: source, level, target, value.
+_RECORD_STRUCT = struct.Struct("<iiif")
+RECORD_BYTES = _RECORD_STRUCT.size
+
+
+# --------------------------------------------------------------------------- #
+# Flat packed representation of all hitting sets
+# --------------------------------------------------------------------------- #
+def _pack_hitting_sets(
+    hitting_sets: list[HittingProbabilitySet],
+) -> dict[str, np.ndarray]:
+    """Flatten per-node hitting sets into CSR-style arrays sorted by node."""
+    counts = np.array([len(hs) for hs in hitting_sets], dtype=np.int64)
+    offsets = np.zeros(len(hitting_sets) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    levels = np.empty(total, dtype=np.int32)
+    targets = np.empty(total, dtype=np.int32)
+    values = np.empty(total, dtype=np.float64)
+    cursor = 0
+    for hitting_set in hitting_sets:
+        for level, target, value in hitting_set.items():
+            levels[cursor] = level
+            targets[cursor] = target
+            values[cursor] = value
+            cursor += 1
+    return {
+        "offsets": offsets,
+        "levels": levels,
+        "targets": targets,
+        "values": values,
+    }
+
+
+def _unpack_hitting_set(
+    packed: dict[str, np.ndarray], node: int
+) -> HittingProbabilitySet:
+    start = int(packed["offsets"][node])
+    stop = int(packed["offsets"][node + 1])
+    hitting_set = HittingProbabilitySet()
+    levels = packed["levels"][start:stop]
+    targets = packed["targets"][start:stop]
+    values = packed["values"][start:stop]
+    for level, target, value in zip(levels, targets, values):
+        hitting_set.set(int(level), int(target), float(value))
+    return hitting_set
+
+
+# --------------------------------------------------------------------------- #
+# Save / load
+# --------------------------------------------------------------------------- #
+def save_index(index: SlingIndex, directory: str | Path) -> Path:
+    """Serialize a built index to ``directory`` (created if missing)."""
+    if not index.is_built:
+        raise StorageError("cannot save an index that has not been built")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    packed = _pack_hitting_sets(index.hitting_sets)
+    reduced = index._reduced if index._reduced is not None else np.zeros(0, dtype=bool)
+    np.savez_compressed(
+        directory / _DATA_FILE,
+        corrections=index.correction_factors,
+        reduced=reduced,
+        **packed,
+    )
+    params = index.parameters
+    meta = {
+        "format_version": 1,
+        "num_nodes": index.graph.num_nodes,
+        "num_edges": index.graph.num_edges,
+        "c": params.c,
+        "epsilon": params.epsilon,
+        "delta": params.delta,
+        "epsilon_d": params.epsilon_d,
+        "theta": params.theta,
+        "delta_d": params.delta_d,
+        "reduce_space": index._reduced is not None,
+        "enhance_accuracy": index._enhancer is not None,
+    }
+    (directory / _META_FILE).write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return directory
+
+
+def _read_meta(directory: Path) -> dict:
+    meta_path = directory / _META_FILE
+    if not meta_path.exists():
+        raise StorageError(f"no SLING index metadata found at {meta_path}")
+    try:
+        return json.loads(meta_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt index metadata at {meta_path}: {exc}") from exc
+
+
+def load_index(directory: str | Path, graph: DiGraph) -> SlingIndex:
+    """Load a previously saved index and attach it to ``graph``.
+
+    The graph must be the one the index was built on (node and edge counts are
+    verified); loading against a different graph raises :class:`StorageError`.
+    """
+    directory = Path(directory)
+    meta = _read_meta(directory)
+    if meta["num_nodes"] != graph.num_nodes or meta["num_edges"] != graph.num_edges:
+        raise StorageError(
+            "graph mismatch: the index was built on a graph with "
+            f"n={meta['num_nodes']}, m={meta['num_edges']} but the supplied graph "
+            f"has n={graph.num_nodes}, m={graph.num_edges}"
+        )
+    data = np.load(directory / _DATA_FILE)
+    params = SlingParameters(
+        c=meta["c"],
+        epsilon=meta["epsilon"],
+        delta=meta["delta"],
+        epsilon_d=meta["epsilon_d"],
+        theta=meta["theta"],
+        delta_d=meta["delta_d"],
+    )
+    index = SlingIndex(
+        graph,
+        parameters=params,
+        reduce_space=meta["reduce_space"],
+        enhance_accuracy=meta["enhance_accuracy"],
+    )
+    packed = {key: data[key] for key in ("offsets", "levels", "targets", "values")}
+    hitting_sets = [
+        _unpack_hitting_set(packed, node) for node in range(graph.num_nodes)
+    ]
+    index._corrections = data["corrections"]
+    index._hitting_sets = hitting_sets
+    if meta["reduce_space"]:
+        from .optimizations import SpaceReduction
+
+        index._space_reduction = SpaceReduction(theta=params.theta)
+        index._reduced = data["reduced"].astype(bool)
+    if meta["enhance_accuracy"]:
+        from .optimizations import AccuracyEnhancer
+
+        enhancer = AccuracyEnhancer(graph, params.epsilon, params.sqrt_c)
+        enhancer.mark_all(hitting_sets)
+        index._enhancer = enhancer
+    return index
+
+
+# --------------------------------------------------------------------------- #
+# Disk-backed query processing
+# --------------------------------------------------------------------------- #
+class DiskBackedIndex:
+    """Answer SimRank queries while keeping hitting sets on disk.
+
+    Only the correction factors (8 bytes per node) are held in memory; every
+    single-pair query reads exactly two hitting sets from the memory-mapped
+    data file, matching the constant-I/O argument of Section 5.4.
+    """
+
+    def __init__(self, directory: str | Path, graph: DiGraph) -> None:
+        directory = Path(directory)
+        meta = _read_meta(directory)
+        if meta["num_nodes"] != graph.num_nodes:
+            raise StorageError(
+                "graph mismatch between the stored index and the supplied graph"
+            )
+        self._graph = graph
+        self._params = SlingParameters(
+            c=meta["c"],
+            epsilon=meta["epsilon"],
+            delta=meta["delta"],
+            epsilon_d=meta["epsilon_d"],
+            theta=meta["theta"],
+            delta_d=meta["delta_d"],
+        )
+        data = np.load(directory / _DATA_FILE)
+        self._corrections = data["corrections"]
+        self._offsets = data["offsets"]
+        self._levels = data["levels"]
+        self._targets = data["targets"]
+        self._values = data["values"]
+        self._reads = 0
+
+    @property
+    def parameters(self) -> SlingParameters:
+        """The parameter set the stored index was built with."""
+        return self._params
+
+    @property
+    def num_set_reads(self) -> int:
+        """Number of hitting sets materialised so far (I/O accounting)."""
+        return self._reads
+
+    def _load_set(self, node: int) -> HittingProbabilitySet:
+        self._graph.in_degree(node)  # validates the node id
+        self._reads += 1
+        packed = {
+            "offsets": self._offsets,
+            "levels": self._levels,
+            "targets": self._targets,
+            "values": self._values,
+        }
+        return _unpack_hitting_set(packed, int(node))
+
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        """Algorithm 3 over disk-resident hitting sets."""
+        set_u = self._load_set(node_u)
+        set_v = self._load_set(node_v)
+        score = 0.0
+        for level, entries_u in set_u.levels.items():
+            entries_v = set_v.levels.get(level)
+            if not entries_v:
+                continue
+            if len(entries_v) < len(entries_u):
+                entries_u, entries_v = entries_v, entries_u
+            for target, value_u in entries_u.items():
+                value_v = entries_v.get(target)
+                if value_v is not None:
+                    score += value_u * self._corrections[target] * value_v
+        return min(1.0, score)
+
+    def single_source(self, node: int) -> np.ndarray:
+        """Algorithm 6 over a disk-resident hitting set for the query node."""
+        return single_source_local_push(
+            self._graph,
+            self._load_set(node),
+            self._corrections,
+            self._params.sqrt_c,
+            self._params.theta,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Out-of-core construction
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OutOfCoreBuildReport:
+    """Outcome of an out-of-core build (the Figure-10 measurement unit)."""
+
+    directory: Path
+    buffer_bytes: int
+    num_records: int
+    num_spill_runs: int
+    elapsed_seconds: float
+    correction_seconds: float
+    push_seconds: float
+    merge_seconds: float
+
+
+def _spill_run(records: list[tuple[int, int, int, float]], run_path: Path) -> None:
+    """Sort a buffer by source node and write it as a binary run file."""
+    records.sort(key=lambda record: record[0])
+    with open(run_path, "wb") as handle:
+        for record in records:
+            handle.write(_RECORD_STRUCT.pack(*record))
+
+
+def _iter_run(run_path: Path):
+    with open(run_path, "rb") as handle:
+        while True:
+            chunk = handle.read(RECORD_BYTES)
+            if not chunk:
+                break
+            yield _RECORD_STRUCT.unpack(chunk)
+
+
+def out_of_core_build(
+    graph: DiGraph,
+    params: SlingParameters,
+    work_directory: str | Path,
+    *,
+    buffer_bytes: int = 256 * 1024 * 1024,
+    seed: int | None = None,
+) -> OutOfCoreBuildReport:
+    """Build a SLING index with a bounded in-memory record buffer.
+
+    The correction factors are computed in memory (they need only
+    ``8n`` bytes); the hitting-probability records produced by the reverse
+    pushes are buffered, spilled to sorted run files whenever the buffer
+    exceeds ``buffer_bytes``, and finally merged with a k-way external merge
+    into the packed index format of :func:`save_index`.
+
+    Returns an :class:`OutOfCoreBuildReport`; the finished index can then be
+    queried via :class:`DiskBackedIndex` or loaded with :func:`load_index`.
+    """
+    if buffer_bytes < RECORD_BYTES:
+        raise ParameterError(
+            f"buffer_bytes must be at least {RECORD_BYTES}, got {buffer_bytes}"
+        )
+    work_directory = Path(work_directory)
+    work_directory.mkdir(parents=True, exist_ok=True)
+    runs_directory = work_directory / "runs"
+    runs_directory.mkdir(exist_ok=True)
+
+    start_total = time.perf_counter()
+
+    start = time.perf_counter()
+    walker = SqrtCWalker(graph, params.c, seed=seed)
+    corrections = estimate_all_correction_factors(
+        walker, params.epsilon_d, params.delta_d, adaptive=True
+    )
+    correction_seconds = time.perf_counter() - start
+
+    max_buffer_records = max(1, buffer_bytes // RECORD_BYTES)
+    buffer: list[tuple[int, int, int, float]] = []
+    run_paths: list[Path] = []
+    num_records = 0
+
+    start = time.perf_counter()
+    for target in graph.nodes():
+        per_level = reverse_push(graph, target, params.sqrt_c, params.theta)
+        for level, entries in per_level.items():
+            for source, value in entries.items():
+                buffer.append((source, level, target, float(value)))
+                num_records += 1
+                if len(buffer) >= max_buffer_records:
+                    run_path = runs_directory / f"run_{len(run_paths):06d}.bin"
+                    _spill_run(buffer, run_path)
+                    run_paths.append(run_path)
+                    buffer = []
+    if buffer:
+        run_path = runs_directory / f"run_{len(run_paths):06d}.bin"
+        _spill_run(buffer, run_path)
+        run_paths.append(run_path)
+        buffer = []
+    push_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    merged = heapq.merge(
+        *[_iter_run(path) for path in run_paths], key=lambda record: record[0]
+    )
+    hitting_sets = [HittingProbabilitySet() for _ in range(graph.num_nodes)]
+    for source, level, target, value in merged:
+        hitting_sets[source].set(level, target, value)
+    merge_seconds = time.perf_counter() - start
+
+    index = SlingIndex(graph, parameters=params, seed=seed)
+    index._corrections = corrections
+    index._hitting_sets = hitting_sets
+    save_index(index, work_directory / "index")
+
+    for path in run_paths:
+        path.unlink(missing_ok=True)
+
+    return OutOfCoreBuildReport(
+        directory=work_directory / "index",
+        buffer_bytes=buffer_bytes,
+        num_records=num_records,
+        num_spill_runs=len(run_paths),
+        elapsed_seconds=time.perf_counter() - start_total,
+        correction_seconds=correction_seconds,
+        push_seconds=push_seconds,
+        merge_seconds=merge_seconds,
+    )

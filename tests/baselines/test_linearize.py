@@ -1,0 +1,168 @@
+"""Unit tests for the linearization method (Section 3.3, Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearizeIndex, simrank_matrix
+from repro.exceptions import IndexNotBuiltError, NodeNotFoundError, ParameterError
+from repro.graphs import generators
+from repro.sling import exact_correction_factors
+
+
+class TestConstruction:
+    def test_invalid_parameters(self, community_graph):
+        with pytest.raises(ParameterError):
+            LinearizeIndex(community_graph, num_steps=0)
+        with pytest.raises(ParameterError):
+            LinearizeIndex(community_graph, num_walks=0)
+        with pytest.raises(ParameterError):
+            LinearizeIndex(community_graph, num_sweeps=0)
+        with pytest.raises(ParameterError):
+            LinearizeIndex(community_graph, diagonal=np.ones(5))
+
+    def test_queries_before_build_raise(self, community_graph):
+        method = LinearizeIndex(community_graph)
+        with pytest.raises(IndexNotBuiltError):
+            method.single_pair(0, 1)
+        with pytest.raises(IndexNotBuiltError):
+            _ = method.diagonal
+
+    def test_paper_defaults(self, community_graph):
+        method = LinearizeIndex(community_graph)
+        assert method.num_steps == 11
+
+    def test_name_label(self, community_graph):
+        assert LinearizeIndex(community_graph).name == "Linearize"
+
+
+class TestWithExactDiagonal:
+    """With the true D supplied, Equation (11) guarantees eps = c^T/(1-c)."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generators.two_level_community(2, 8, seed=23)
+
+    @pytest.fixture(scope="class")
+    def truth(self, graph, decay):
+        return simrank_matrix(graph, c=decay, num_iterations=50)
+
+    @pytest.fixture(scope="class")
+    def exact_diagonal(self, graph, truth, decay):
+        return exact_correction_factors(graph, truth, decay)
+
+    def test_single_pair_error_bounded_by_truncation(
+        self, graph, truth, exact_diagonal, decay
+    ):
+        method = LinearizeIndex(
+            graph, c=decay, num_steps=11, diagonal=exact_diagonal
+        ).build()
+        bound = decay**12 / (1 - decay)
+        for u in range(0, graph.num_nodes, 3):
+            for v in range(0, graph.num_nodes, 5):
+                assert abs(method.single_pair(u, v) - truth[u, v]) <= bound + 1e-9
+
+    def test_single_source_matches_single_pair(self, graph, exact_diagonal, decay):
+        method = LinearizeIndex(graph, c=decay, diagonal=exact_diagonal).build()
+        scores = method.single_source(3)
+        for node in range(graph.num_nodes):
+            assert scores[node] == pytest.approx(method.single_pair(3, node), abs=1e-9)
+
+    def test_diagonal_property_returns_supplied_values(
+        self, graph, exact_diagonal, decay
+    ):
+        method = LinearizeIndex(graph, c=decay, diagonal=exact_diagonal).build()
+        assert np.allclose(method.diagonal, exact_diagonal)
+
+    def test_longer_truncation_improves_accuracy(self, graph, truth, exact_diagonal, decay):
+        short = LinearizeIndex(
+            graph, c=decay, num_steps=2, diagonal=exact_diagonal
+        ).build()
+        long = LinearizeIndex(
+            graph, c=decay, num_steps=12, diagonal=exact_diagonal
+        ).build()
+        short_error = np.abs(short.all_pairs() - truth).max()
+        long_error = np.abs(long.all_pairs() - truth).max()
+        assert long_error <= short_error + 1e-12
+
+
+class TestWithEstimatedDiagonal:
+    def test_reasonable_accuracy_on_small_graph(
+        self, community_graph, ground_truth_cache, decay
+    ):
+        truth = ground_truth_cache(community_graph)
+        method = LinearizeIndex(community_graph, c=decay, seed=1).build()
+        estimated = method.all_pairs()
+        # No worst-case guarantee exists (Appendix A), but on a small graph the
+        # heuristic should still land in the right ballpark.
+        assert np.abs(estimated - truth).max() <= 0.15
+
+    def test_diagonal_entries_are_reasonable(self, community_graph, decay):
+        method = LinearizeIndex(community_graph, c=decay, seed=2).build()
+        diagonal = method.diagonal
+        assert diagonal.shape == (30,)
+        assert np.all(diagonal <= 1.0 + 1e-9)
+        assert np.all(diagonal >= 1.0 - decay - 0.2)
+
+    def test_estimated_diagonal_close_to_exact(
+        self, community_graph, ground_truth_cache, decay
+    ):
+        truth = ground_truth_cache(community_graph)
+        exact = exact_correction_factors(community_graph, truth, decay)
+        method = LinearizeIndex(
+            community_graph, c=decay, num_walks=300, seed=3
+        ).build()
+        assert np.abs(method.diagonal - exact).max() <= 0.1
+
+    def test_reproducible_with_seed(self, community_graph):
+        first = LinearizeIndex(community_graph, seed=9).build()
+        second = LinearizeIndex(community_graph, seed=9).build()
+        assert np.allclose(first.diagonal, second.diagonal)
+
+    def test_unknown_node_rejected(self, community_graph):
+        method = LinearizeIndex(community_graph, seed=0).build()
+        with pytest.raises(NodeNotFoundError):
+            method.single_pair(0, 999)
+        with pytest.raises(NodeNotFoundError):
+            method.single_source(999)
+
+    def test_index_size_is_linear_in_graph(self, decay):
+        small_graph = generators.preferential_attachment(30, 2, seed=1)
+        large_graph = generators.preferential_attachment(120, 2, seed=1)
+        small = LinearizeIndex(small_graph, c=decay, seed=0).build()
+        large = LinearizeIndex(large_graph, c=decay, seed=0).build()
+        assert large.index_size_bytes() > small.index_size_bytes()
+        # O(n + m), so far smaller than the n^2 of the power method.
+        assert large.index_size_bytes() < 120 * 120 * 8
+
+    def test_figure8_adversarial_cycle_is_not_diagonally_dominant(self, decay):
+        """Figure 8 / Appendix A: on the 4-cycle the linear system's matrix M
+        is not diagonally dominant, so Gauss–Seidel convergence is not
+        guaranteed — yet the correct diagonal is simply (1 - c) everywhere and
+        SimRank is 0 off the diagonal."""
+        graph = generators.cycle(4)
+        # M(k, i) = sum_l c^l (p^(l)_{k,i})^2; on a directed cycle the reverse
+        # walk is deterministic, so p^(l)_{k,i} is 1 for exactly one i per l.
+        coefficients = np.zeros((4, 4))
+        for k in range(4):
+            for level in range(200):
+                coefficients[k, (k - level) % 4] += decay**level
+        for k in range(4):
+            off_diagonal = coefficients[k].sum() - coefficients[k, k]
+            assert off_diagonal > coefficients[k, k]  # not diagonally dominant
+        # The method must still behave sensibly here: with the exact diagonal
+        # (1 - c for every node) every off-diagonal SimRank estimate is 0.
+        method = LinearizeIndex(
+            graph, c=decay, diagonal=np.full(4, 1.0 - decay)
+        ).build()
+        assert method.single_pair(0, 2) == pytest.approx(0.0, abs=1e-12)
+        assert method.single_pair(1, 1) == pytest.approx(1.0, abs=decay**11)
+
+    def test_zero_in_degree_graph(self, decay):
+        # A path graph: the diagonal system is trivially solvable and queries
+        # must not divide by zero.
+        graph = generators.path(5)
+        method = LinearizeIndex(graph, c=decay, seed=1).build()
+        assert method.single_pair(1, 2) == pytest.approx(0.0, abs=0.05)
+        assert method.single_pair(2, 2) == pytest.approx(1.0, abs=0.05)

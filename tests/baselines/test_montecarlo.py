@@ -1,0 +1,132 @@
+"""Unit tests for the Monte Carlo fingerprint index (Section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MonteCarloIndex,
+    required_num_walks,
+    required_walk_length,
+)
+from repro.exceptions import IndexNotBuiltError, NodeNotFoundError, ParameterError
+from repro.graphs import generators
+
+
+class TestParameterFormulas:
+    def test_required_num_walks_grows_with_accuracy(self):
+        assert required_num_walks(1000, 0.01, 0.01) > required_num_walks(
+            1000, 0.1, 0.01
+        )
+
+    def test_required_num_walks_grows_with_graph_size(self):
+        assert required_num_walks(10_000, 0.05, 0.01) > required_num_walks(
+            100, 0.05, 0.01
+        )
+
+    def test_required_walk_length_matches_truncation_bound(self, decay):
+        length = required_walk_length(decay, 0.025)
+        assert decay ** (length) <= 0.025 / 2 + 1e-12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            required_num_walks(0, 0.1, 0.1)
+        with pytest.raises(ParameterError):
+            required_walk_length(1.5, 0.1)
+
+
+class TestBuildAndQueries:
+    @pytest.fixture(scope="class")
+    def method(self, community_graph):
+        return MonteCarloIndex(
+            community_graph, num_walks=400, walk_length=10, seed=7
+        ).build()
+
+    def test_queries_before_build_raise(self, community_graph):
+        method = MonteCarloIndex(community_graph, num_walks=10, walk_length=5)
+        with pytest.raises(IndexNotBuiltError):
+            method.single_pair(0, 1)
+        with pytest.raises(IndexNotBuiltError):
+            method.index_size_bytes()
+
+    def test_identical_nodes_score_one(self, method):
+        assert method.single_pair(3, 3) == 1.0
+
+    def test_scores_in_unit_interval(self, method):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            u, v = rng.integers(0, 30, size=2)
+            assert 0.0 <= method.single_pair(int(u), int(v)) <= 1.0
+
+    def test_approximates_ground_truth(self, community_graph, ground_truth_cache, decay):
+        truth = ground_truth_cache(community_graph)
+        method = MonteCarloIndex(
+            community_graph, c=decay, num_walks=2000, walk_length=12, seed=1
+        ).build()
+        estimated = method.all_pairs()
+        # 2000 walks give roughly 1/sqrt(2000) ~ 0.022 standard error.
+        assert np.abs(estimated - truth).max() <= 0.08
+
+    def test_cycle_scores_are_zero(self, decay):
+        graph = generators.cycle(6)
+        method = MonteCarloIndex(graph, c=decay, num_walks=100, walk_length=8, seed=2).build()
+        assert method.single_pair(0, 2) == 0.0
+
+    def test_outward_star_estimate(self, outward_star, decay):
+        method = MonteCarloIndex(
+            outward_star, c=decay, num_walks=3000, walk_length=5, seed=3
+        ).build()
+        assert method.single_pair(1, 2) == pytest.approx(decay, abs=0.05)
+
+    def test_single_source_matches_single_pair(self, method):
+        scores = method.single_source(4)
+        for node in (0, 4, 17, 29):
+            assert scores[node] == pytest.approx(method.single_pair(4, node))
+
+    def test_index_size_accounts_for_fingerprints(self, community_graph):
+        method = MonteCarloIndex(
+            community_graph, num_walks=50, walk_length=7, seed=0
+        ).build()
+        assert method.index_size_bytes() == 30 * 50 * 7 * 4
+
+    def test_index_size_grows_with_walks(self, community_graph):
+        small = MonteCarloIndex(
+            community_graph, num_walks=20, walk_length=5, seed=0
+        ).build()
+        large = MonteCarloIndex(
+            community_graph, num_walks=80, walk_length=5, seed=0
+        ).build()
+        assert large.index_size_bytes() == 4 * small.index_size_bytes()
+
+    def test_defaults_follow_paper_formulas(self, decay):
+        graph = generators.cycle(50)
+        method = MonteCarloIndex(graph, c=decay, epsilon=0.1, delta=0.1)
+        assert method.num_walks == required_num_walks(50, 0.1, 0.1)
+        assert method.walk_length == required_walk_length(decay, 0.1)
+
+    def test_unknown_node_rejected(self, method):
+        with pytest.raises(NodeNotFoundError):
+            method.single_pair(0, 999)
+
+    def test_invalid_overrides(self, community_graph):
+        with pytest.raises(ParameterError):
+            MonteCarloIndex(community_graph, num_walks=0, walk_length=5)
+        with pytest.raises(ParameterError):
+            MonteCarloIndex(community_graph, num_walks=5, walk_length=0)
+
+    def test_reproducible_with_seed(self, community_graph):
+        first = MonteCarloIndex(
+            community_graph, num_walks=50, walk_length=6, seed=11
+        ).build()
+        second = MonteCarloIndex(
+            community_graph, num_walks=50, walk_length=6, seed=11
+        ).build()
+        assert first.single_pair(2, 9) == second.single_pair(2, 9)
+
+    def test_walks_stop_at_source_nodes(self, decay):
+        # On a path graph all reverse walks funnel to node 0 and then stop;
+        # fingerprints must use the sentinel, not repeat the last node.
+        graph = generators.path(4)
+        method = MonteCarloIndex(graph, c=decay, num_walks=20, walk_length=6, seed=4).build()
+        assert method.single_pair(0, 1) == 0.0

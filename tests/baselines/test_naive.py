@@ -1,0 +1,92 @@
+"""Unit tests for the naive SimRank oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import iterations_for_error, naive_simrank, naive_simrank_pair
+from repro.exceptions import ParameterError
+from repro.graphs import DiGraph, generators
+
+
+class TestIterationsForError:
+    def test_matches_lemma1_formula(self):
+        # c = 0.6, eps = 0.025: t >= log_0.6(0.01) - 1 ~ 8.02 -> 9.
+        assert iterations_for_error(0.6, 0.025) == 9
+
+    def test_tighter_error_needs_more_iterations(self):
+        assert iterations_for_error(0.6, 0.001) > iterations_for_error(0.6, 0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            iterations_for_error(0.0, 0.1)
+        with pytest.raises(ParameterError):
+            iterations_for_error(0.6, 0.0)
+
+
+class TestNaiveSimRank:
+    def test_diagonal_is_one(self, decay):
+        graph = generators.cycle(4)
+        scores = naive_simrank(graph, c=decay, num_iterations=5)
+        for node in graph.nodes():
+            assert scores[(node, node)] == 1.0
+
+    def test_cycle_off_diagonal_is_zero(self, decay):
+        graph = generators.cycle(5)
+        scores = naive_simrank(graph, c=decay, num_iterations=20)
+        assert all(
+            value == 0.0 for (u, v), value in scores.items() if u != v
+        )
+
+    def test_outward_star_leaves_have_score_c(self, outward_star, decay):
+        scores = naive_simrank(outward_star, c=decay, num_iterations=10)
+        assert scores[(1, 2)] == pytest.approx(decay)
+        assert scores[(1, 0)] == 0.0
+
+    def test_complete_graph_matches_closed_form(self, decay, complete_offdiag):
+        graph = generators.complete(4)
+        scores = naive_simrank(graph, c=decay, epsilon=0.0001)
+        assert scores[(0, 1)] == pytest.approx(complete_offdiag(4, decay), abs=0.001)
+
+    def test_symmetry(self, decay):
+        graph = generators.two_level_community(2, 5, seed=1)
+        scores = naive_simrank(graph, c=decay, num_iterations=10)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert scores[(u, v)] == pytest.approx(scores[(v, u)])
+
+    def test_scores_monotone_in_iterations(self, decay):
+        # The fixed-point iteration approaches SimRank from below.
+        graph = generators.two_level_community(2, 4, seed=2)
+        few = naive_simrank(graph, c=decay, num_iterations=3)
+        many = naive_simrank(graph, c=decay, num_iterations=10)
+        assert all(many[key] >= few[key] - 1e-12 for key in few)
+
+    def test_requires_iterations_or_epsilon(self):
+        graph = generators.cycle(3)
+        with pytest.raises(ParameterError):
+            naive_simrank(graph)
+
+    def test_zero_iterations_gives_identity(self, decay):
+        graph = generators.complete(3)
+        scores = naive_simrank(graph, c=decay, num_iterations=0)
+        assert scores[(0, 1)] == 0.0
+        assert scores[(1, 1)] == 1.0
+
+    def test_pair_helper(self, outward_star, decay):
+        assert naive_simrank_pair(outward_star, 1, 2, c=decay) == pytest.approx(
+            decay, abs=0.001
+        )
+
+    def test_nodes_pointing_to_common_parent(self, decay):
+        # 0 -> 2, 1 -> 2: nodes 0 and 1 have no in-neighbours, so their
+        # similarity is 0, while s(2, 2) = 1.
+        graph = DiGraph(3, [(0, 2), (1, 2)])
+        scores = naive_simrank(graph, c=decay, num_iterations=10)
+        assert scores[(0, 1)] == 0.0
+
+    def test_common_parent_children(self, decay):
+        # 0 -> 1, 0 -> 2: children of a common parent have similarity c.
+        graph = DiGraph(3, [(0, 1), (0, 2)])
+        scores = naive_simrank(graph, c=decay, num_iterations=10)
+        assert scores[(1, 2)] == pytest.approx(decay)

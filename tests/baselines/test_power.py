@@ -1,0 +1,109 @@
+"""Unit tests for the power method (Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import PowerMethod, naive_simrank, simrank_matrix
+from repro.exceptions import IndexNotBuiltError, NodeNotFoundError, ParameterError
+from repro.graphs import generators
+
+
+class TestSimrankMatrix:
+    def test_matches_naive_oracle(self, decay):
+        graph = generators.two_level_community(2, 5, seed=3)
+        iterations = 15
+        matrix = simrank_matrix(graph, c=decay, num_iterations=iterations)
+        oracle = naive_simrank(graph, c=decay, num_iterations=iterations)
+        for (u, v), value in oracle.items():
+            assert matrix[u, v] == pytest.approx(value, abs=1e-9)
+
+    def test_diagonal_is_one(self, decay):
+        graph = generators.preferential_attachment(30, 2, seed=1)
+        matrix = simrank_matrix(graph, c=decay, epsilon=0.05)
+        assert np.allclose(matrix.diagonal(), 1.0)
+
+    def test_matrix_is_symmetric(self, decay):
+        graph = generators.preferential_attachment(30, 2, seed=2)
+        matrix = simrank_matrix(graph, c=decay, epsilon=0.05)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_values_in_unit_interval(self, decay):
+        graph = generators.copying_model(40, 3, seed=3)
+        matrix = simrank_matrix(graph, c=decay, epsilon=0.05)
+        assert matrix.min() >= 0.0
+        assert matrix.max() <= 1.0 + 1e-12
+
+    def test_outward_star(self, outward_star, decay):
+        matrix = simrank_matrix(outward_star, c=decay, num_iterations=10)
+        assert matrix[1, 2] == pytest.approx(decay)
+        assert matrix[0, 1] == 0.0
+
+    def test_complete_graph_closed_form(self, decay, complete_offdiag):
+        matrix = simrank_matrix(generators.complete(5), c=decay, epsilon=0.0001)
+        assert matrix[0, 1] == pytest.approx(complete_offdiag(5, decay), abs=0.001)
+
+    def test_lemma1_iteration_error_bound(self, decay):
+        # The gap between t iterations and the fixed point is at most c^(t+1)/(1-c).
+        graph = generators.two_level_community(2, 6, seed=4)
+        coarse = simrank_matrix(graph, c=decay, num_iterations=5)
+        fine = simrank_matrix(graph, c=decay, num_iterations=50)
+        bound = decay**6 / (1 - decay)
+        assert np.abs(coarse - fine).max() <= bound + 1e-12
+
+    def test_requires_iterations_or_epsilon(self, decay):
+        with pytest.raises(ParameterError):
+            simrank_matrix(generators.cycle(3), c=decay)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ParameterError):
+            simrank_matrix(generators.cycle(3), c=1.5, num_iterations=3)
+
+
+class TestPowerMethodClass:
+    def test_queries_before_build_raise(self):
+        method = PowerMethod(generators.cycle(4))
+        with pytest.raises(IndexNotBuiltError):
+            method.single_pair(0, 1)
+        with pytest.raises(IndexNotBuiltError):
+            method.single_source(0)
+        with pytest.raises(IndexNotBuiltError):
+            method.index_size_bytes()
+
+    def test_single_pair_and_source_consistency(self, decay):
+        graph = generators.two_level_community(2, 6, seed=5)
+        method = PowerMethod(graph, c=decay, epsilon=0.01).build()
+        row = method.single_source(3)
+        for node in graph.nodes():
+            assert row[node] == method.single_pair(3, node)
+
+    def test_all_pairs_returns_copy(self):
+        method = PowerMethod(generators.cycle(4)).build()
+        matrix = method.all_pairs()
+        matrix[0, 1] = 99.0
+        assert method.single_pair(0, 1) != 99.0
+
+    def test_index_size_is_n_squared_floats(self):
+        graph = generators.cycle(10)
+        method = PowerMethod(graph).build()
+        assert method.index_size_bytes() == 10 * 10 * 8
+
+    def test_epsilon_determines_iterations(self):
+        loose = PowerMethod(generators.cycle(4), epsilon=0.1)
+        tight = PowerMethod(generators.cycle(4), epsilon=0.001)
+        assert tight.num_iterations > loose.num_iterations
+
+    def test_explicit_iterations_override(self):
+        method = PowerMethod(generators.cycle(4), num_iterations=7)
+        assert method.num_iterations == 7
+
+    def test_unknown_node_rejected(self):
+        method = PowerMethod(generators.cycle(4)).build()
+        with pytest.raises(NodeNotFoundError):
+            method.single_pair(0, 9)
+        with pytest.raises(NodeNotFoundError):
+            method.single_source(-2)
+
+    def test_name_label(self):
+        assert PowerMethod(generators.cycle(3)).name == "Power"

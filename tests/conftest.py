@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite.
+
+The fixtures centre on a handful of small graphs with analytically known
+SimRank structure (documented on each fixture) plus cached power-method ground
+truth, so that individual test modules can assert against exact values without
+re-deriving them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import simrank_matrix
+from repro.graphs import DiGraph, generators
+
+#: Decay factor used throughout the tests (the paper's default).
+C = 0.6
+
+
+@pytest.fixture(scope="session")
+def decay() -> float:
+    """The SimRank decay factor used by the test suite."""
+    return C
+
+
+@pytest.fixture(scope="session")
+def outward_star() -> DiGraph:
+    """Node 0 points at nodes 1..5.
+
+    Every leaf has exactly one in-neighbour (the centre), so the SimRank of
+    any two distinct leaves is exactly ``c``, and the SimRank between the
+    centre and any leaf is 0 (the centre has no in-neighbours).
+    """
+    return generators.star(5, inward=False)
+
+
+@pytest.fixture(scope="session")
+def inward_star() -> DiGraph:
+    """Nodes 1..5 all point at node 0; every leaf has in-degree zero."""
+    return generators.star(5, inward=True)
+
+
+@pytest.fixture(scope="session")
+def directed_cycle() -> DiGraph:
+    """A 6-node directed cycle: every off-diagonal SimRank is exactly 0."""
+    return generators.cycle(6)
+
+
+@pytest.fixture(scope="session")
+def complete_graph() -> DiGraph:
+    """K4 without self-loops; all off-diagonal SimRank scores are equal."""
+    return generators.complete(4)
+
+
+@pytest.fixture(scope="session")
+def community_graph() -> DiGraph:
+    """A 3x10 planted-community graph used as a 'realistic' small input."""
+    return generators.two_level_community(3, 10, seed=7)
+
+
+@pytest.fixture(scope="session")
+def dag_graph() -> DiGraph:
+    """A random DAG: guarantees nodes with zero in-degree exist."""
+    return generators.random_dag(20, 40, seed=3)
+
+
+@pytest.fixture(scope="session")
+def scale_free_graph() -> DiGraph:
+    """A directed preferential-attachment graph with skewed in-degrees."""
+    return generators.preferential_attachment(60, 3, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ground_truth_cache():
+    """Session-wide cache of power-method SimRank matrices keyed by graph id."""
+    cache: dict[int, np.ndarray] = {}
+
+    def compute(graph: DiGraph, c: float = C, num_iterations: int = 40) -> np.ndarray:
+        key = (id(graph), c, num_iterations)
+        if key not in cache:
+            cache[key] = simrank_matrix(graph, c=c, num_iterations=num_iterations)
+        return cache[key]
+
+    return compute
+
+
+def complete_graph_offdiag_simrank(num_nodes: int, c: float = C) -> float:
+    """Closed-form off-diagonal SimRank of the complete graph K_n.
+
+    By symmetry every off-diagonal score equals ``s`` with
+    ``s = c ((n-2) + ((n-1)^2 - (n-2)) s) / (n-1)^2``.
+    """
+    n = num_nodes
+    same = n - 2
+    cross = (n - 1) ** 2 - same
+    return c * same / ((n - 1) ** 2 - c * cross)
+
+
+@pytest.fixture(scope="session")
+def complete_offdiag():
+    """Fixture exposing the K_n closed-form SimRank helper to test modules."""
+    return complete_graph_offdiag_simrank

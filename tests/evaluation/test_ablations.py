@@ -1,0 +1,82 @@
+"""Unit tests for the ablation-study drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import GroundTruthCache, ablations
+
+#: One shared cache keeps the (tiny) ground-truth computations to a minimum.
+CACHE = GroundTruthCache()
+SCALE = 0.06
+
+
+class TestCorrectionSamplerAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.correction_sampler_ablation(
+            "GrQc", scale=SCALE, epsilon_d=0.02, cache=CACHE
+        )
+
+    def test_returns_both_estimators(self, rows):
+        assert [row.estimator for row in rows] == [
+            "Algorithm 1 (fixed)",
+            "Algorithm 4 (adaptive)",
+        ]
+
+    def test_adaptive_uses_no_more_samples(self, rows):
+        fixed, adaptive = rows
+        assert adaptive.total_samples <= fixed.total_samples
+
+    def test_both_respect_error_bound(self, rows):
+        for row in rows:
+            assert row.max_error_vs_exact <= 0.02 + 1e-9
+
+    def test_timings_positive(self, rows):
+        assert all(row.seconds > 0 for row in rows)
+
+
+class TestOptimizationAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.optimization_ablation(
+            "GrQc", scale=SCALE, epsilon=0.1, num_queries=20, cache=CACHE
+        )
+
+    def test_four_variants(self, rows):
+        assert len(rows) == 4
+        assert rows[0].variant == "baseline"
+
+    def test_space_reduction_shrinks_index(self, rows):
+        by_name = {row.variant: row for row in rows}
+        assert (
+            by_name["space reduction (5.2)"].index_megabytes
+            <= by_name["baseline"].index_megabytes
+        )
+
+    def test_every_variant_respects_epsilon(self, rows):
+        assert all(row.max_error <= 0.1 for row in rows)
+
+    def test_query_times_recorded(self, rows):
+        assert all(row.average_query_milliseconds >= 0 for row in rows)
+
+
+class TestMonteCarloVariantAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.monte_carlo_variant_ablation(
+            "GrQc", scale=SCALE, num_walks=200, cache=CACHE
+        )
+
+    def test_two_variants(self, rows):
+        assert len(rows) == 2
+        assert "truncated" in rows[0].variant
+        assert "sqrt(c)" in rows[1].variant
+
+    def test_errors_bounded(self, rows):
+        # 200 walks give a ~1/sqrt(200) standard error; both variants must
+        # stay within a loose sanity bound on a tiny graph.
+        assert all(row.max_error <= 0.25 for row in rows)
+
+    def test_sizes_positive(self, rows):
+        assert all(row.index_megabytes > 0 for row in rows)

@@ -1,0 +1,51 @@
+"""Unit tests for the ground-truth cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import GroundTruthCache, ground_truth_matrix
+from repro.graphs import generators
+
+
+class TestGroundTruthMatrix:
+    def test_uses_fifty_iterations_by_default(self, community_graph):
+        default = ground_truth_matrix(community_graph)
+        explicit = ground_truth_matrix(community_graph, num_iterations=50)
+        assert np.array_equal(default, explicit)
+
+    def test_matches_power_method_properties(self, community_graph):
+        matrix = ground_truth_matrix(community_graph, num_iterations=20)
+        assert np.allclose(matrix.diagonal(), 1.0)
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestGroundTruthCache:
+    def test_memory_cache_returns_same_object(self, community_graph):
+        cache = GroundTruthCache()
+        first = cache.get(community_graph, num_iterations=10)
+        second = cache.get(community_graph, num_iterations=10)
+        assert first is second
+
+    def test_different_settings_are_cached_separately(self, community_graph):
+        cache = GroundTruthCache()
+        coarse = cache.get(community_graph, num_iterations=2)
+        fine = cache.get(community_graph, num_iterations=30)
+        assert not np.array_equal(coarse, fine)
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        graph = generators.two_level_community(2, 6, seed=31)
+        cache = GroundTruthCache(tmp_path)
+        matrix = cache.get(graph, num_iterations=15)
+        assert list(tmp_path.glob("ground_truth_*.npy"))
+        # A fresh cache instance must pick the matrix up from disk.
+        reloaded = GroundTruthCache(tmp_path).get(graph, num_iterations=15)
+        assert np.array_equal(matrix, reloaded)
+
+    def test_clear_drops_memory_entries(self, community_graph):
+        cache = GroundTruthCache()
+        first = cache.get(community_graph, num_iterations=5)
+        cache.clear()
+        second = cache.get(community_graph, num_iterations=5)
+        assert first is not second
+        assert np.array_equal(first, second)

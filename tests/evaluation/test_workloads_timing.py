@@ -1,0 +1,84 @@
+"""Unit tests for query workload generation and the timing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import Timer, random_pairs, random_sources, time_callable
+from repro.evaluation.workloads import PAPER_PAIR_QUERIES, PAPER_SOURCE_QUERIES
+from repro.exceptions import ParameterError
+from repro.graphs import DiGraph, generators
+
+
+class TestWorkloads:
+    def test_paper_workload_sizes(self):
+        assert PAPER_PAIR_QUERIES == 1000
+        assert PAPER_SOURCE_QUERIES == 500
+
+    def test_random_pairs_count_and_range(self):
+        graph = generators.cycle(20)
+        pairs = random_pairs(graph, 50, seed=1)
+        assert len(pairs) == 50
+        assert all(0 <= u < 20 and 0 <= v < 20 for u, v in pairs)
+
+    def test_random_pairs_distinct_by_default(self):
+        graph = generators.cycle(5)
+        pairs = random_pairs(graph, 200, seed=2)
+        assert all(u != v for u, v in pairs)
+
+    def test_random_pairs_allow_identical(self):
+        graph = generators.cycle(2)
+        pairs = random_pairs(graph, 100, seed=3, distinct=False)
+        assert any(u == v for u, v in pairs)
+
+    def test_random_pairs_deterministic(self):
+        graph = generators.cycle(10)
+        assert random_pairs(graph, 20, seed=7) == random_pairs(graph, 20, seed=7)
+
+    def test_random_pairs_invalid(self):
+        graph = generators.cycle(1)
+        with pytest.raises(ParameterError):
+            random_pairs(graph, 5, seed=0)
+        with pytest.raises(ParameterError):
+            random_pairs(generators.cycle(5), -1)
+
+    def test_random_sources(self):
+        graph = generators.cycle(10)
+        sources = random_sources(graph, 30, seed=1)
+        assert len(sources) == 30
+        assert all(0 <= node < 10 for node in sources)
+
+    def test_random_sources_deterministic(self):
+        graph = generators.cycle(10)
+        assert random_sources(graph, 10, seed=4) == random_sources(graph, 10, seed=4)
+
+    def test_random_sources_invalid(self):
+        with pytest.raises(ParameterError):
+            random_sources(DiGraph(0, []), 5)
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer.measure():
+            sum(range(100))
+        with timer.measure():
+            sum(range(100))
+        assert timer.num_measurements == 2
+        assert timer.total_seconds >= 0.0
+        assert timer.average_seconds == pytest.approx(timer.total_seconds / 2)
+
+    def test_timer_empty_average(self):
+        assert Timer().average_seconds == 0.0
+
+    def test_time_callable_repeats(self):
+        calls = []
+        result = time_callable(lambda: calls.append(1), repeats=5)
+        assert len(calls) == 5
+        assert result.num_calls == 5
+        assert len(result.per_call_results) == 5
+        assert result.average_milliseconds >= 0.0
+
+    def test_time_callable_invalid_repeats(self):
+        with pytest.raises(ParameterError):
+            time_callable(lambda: None, repeats=0)

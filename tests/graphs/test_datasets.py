@@ -1,0 +1,85 @@
+"""Unit tests for the Table-3 dataset registry and its synthetic stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graphs import datasets
+
+
+class TestRegistry:
+    def test_twelve_datasets_in_paper_order(self):
+        names = datasets.dataset_names()
+        assert len(names) == 12
+        assert names[0] == "GrQc"
+        assert names[-1] == "Indochina"
+
+    def test_small_and_large_subsets(self):
+        assert set(datasets.SMALL_DATASETS) <= set(datasets.dataset_names())
+        assert set(datasets.LARGE_DATASETS) <= set(datasets.dataset_names())
+        assert len(datasets.SMALL_DATASETS) == 4
+        assert len(datasets.LARGE_DATASETS) == 4
+
+    def test_paper_statistics_recorded(self):
+        spec = datasets.DATASETS["LiveJournal"]
+        assert spec.paper_nodes == 4_847_571
+        assert spec.paper_edges == 68_993_773
+        assert spec.directed
+
+    def test_undirected_datasets_marked(self):
+        for name in ("GrQc", "AS", "HepTh", "Enron"):
+            assert not datasets.DATASETS[name].directed
+        for name in ("Wiki-Vote", "Slashdot", "Google"):
+            assert datasets.DATASETS[name].directed
+
+
+class TestLoading:
+    def test_load_is_case_insensitive(self):
+        graph = datasets.load_dataset("grqc", scale=0.1, seed=0)
+        assert graph.num_nodes >= 16
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ParameterError):
+            datasets.load_dataset("not-a-dataset")
+
+    def test_scale_controls_size(self):
+        small = datasets.load_dataset("AS", scale=0.1, seed=0)
+        large = datasets.load_dataset("AS", scale=0.3, seed=0)
+        assert large.num_nodes > small.num_nodes
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ParameterError):
+            datasets.load_dataset("AS", scale=0.0)
+
+    def test_undirected_standins_are_symmetric(self):
+        graph = datasets.load_dataset("GrQc", scale=0.1, seed=0)
+        assert graph.is_symmetric()
+
+    def test_directed_standins_are_not_symmetric(self):
+        graph = datasets.load_dataset("Wiki-Vote", scale=0.1, seed=0)
+        assert not graph.is_symmetric()
+
+    def test_loading_is_deterministic(self):
+        first = datasets.load_dataset("Slashdot", scale=0.05, seed=3)
+        second = datasets.load_dataset("Slashdot", scale=0.05, seed=3)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_relative_ordering_of_sizes_matches_paper(self):
+        # The stand-ins should preserve the relative size ordering of Table 3.
+        sizes = [
+            datasets.DATASETS[name].standin_nodes for name in datasets.dataset_names()
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestTable3:
+    def test_table3_without_standins(self):
+        table = datasets.table3(include_standins=False)
+        assert "GrQc" in table
+        assert "Indochina" in table
+        assert "5,242" in table  # paper node count of GrQc
+
+    def test_table3_with_standins(self):
+        table = datasets.table3(scale=0.05, include_standins=True)
+        assert len(table.splitlines()) == 13  # header + 12 datasets

@@ -1,0 +1,135 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graphs import generators
+
+
+class TestDeterministicGraphs:
+    def test_star_inward(self):
+        graph = generators.star(4, inward=True)
+        assert graph.num_nodes == 5
+        assert graph.in_degree(0) == 4
+        assert all(graph.in_degree(leaf) == 0 for leaf in range(1, 5))
+
+    def test_star_outward(self):
+        graph = generators.star(4, inward=False)
+        assert graph.out_degree(0) == 4
+        assert all(graph.in_degree(leaf) == 1 for leaf in range(1, 5))
+
+    def test_cycle(self):
+        graph = generators.cycle(5)
+        assert graph.num_edges == 5
+        assert all(graph.in_degree(v) == 1 for v in graph.nodes())
+        assert graph.has_edge(4, 0)
+
+    def test_path(self):
+        graph = generators.path(4)
+        assert graph.num_edges == 3
+        assert graph.in_degree(0) == 0
+        assert graph.out_degree(3) == 0
+
+    def test_complete(self):
+        graph = generators.complete(4)
+        assert graph.num_edges == 12
+        assert all(graph.in_degree(v) == 3 for v in graph.nodes())
+
+    def test_complete_with_self_loops(self):
+        graph = generators.complete(3, self_loops=True)
+        assert graph.num_edges == 9
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ParameterError):
+            generators.star(0)
+        with pytest.raises(ParameterError):
+            generators.cycle(0)
+        with pytest.raises(ParameterError):
+            generators.complete(-1)
+
+
+class TestRandomModels:
+    def test_erdos_renyi_edge_count(self):
+        graph = generators.erdos_renyi(40, 120, seed=0)
+        assert graph.num_nodes == 40
+        assert graph.num_edges == 120
+
+    def test_erdos_renyi_no_self_loops(self):
+        graph = generators.erdos_renyi(20, 80, seed=1)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_erdos_renyi_symmetrized(self):
+        graph = generators.erdos_renyi(20, 40, seed=2, symmetrize=True)
+        assert graph.is_symmetric()
+
+    def test_erdos_renyi_too_many_edges_rejected(self):
+        with pytest.raises(ParameterError):
+            generators.erdos_renyi(3, 100, seed=0)
+
+    def test_erdos_renyi_is_seeded(self):
+        first = generators.erdos_renyi(30, 60, seed=9)
+        second = generators.erdos_renyi(30, 60, seed=9)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_preferential_attachment_size(self):
+        graph = generators.preferential_attachment(50, 3, seed=0)
+        assert graph.num_nodes == 50
+        # Every node after the first attaches up to 3 edges.
+        assert graph.num_edges <= 3 * 49
+        assert graph.num_edges >= 49
+
+    def test_preferential_attachment_skewed_in_degree(self):
+        graph = generators.preferential_attachment(200, 2, seed=1)
+        in_degrees = graph.in_degrees()
+        # Heavy-tailed: the maximum should far exceed the mean.
+        assert in_degrees.max() > 4 * in_degrees.mean()
+
+    def test_preferential_attachment_symmetrize(self):
+        graph = generators.preferential_attachment(30, 2, seed=3, symmetrize=True)
+        assert graph.is_symmetric()
+
+    def test_copying_model_bounds(self):
+        graph = generators.copying_model(60, 4, seed=0)
+        assert graph.num_nodes == 60
+        assert all(u != v for u, v in graph.edges())
+
+    def test_copying_model_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            generators.copying_model(10, 2, copy_probability=1.5, seed=0)
+
+    def test_small_world_symmetric(self):
+        graph = generators.small_world(40, 4, seed=0)
+        assert graph.is_symmetric()
+        assert graph.num_nodes == 40
+
+    def test_small_world_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            generators.small_world(10, 2, rewire_probability=-0.1, seed=0)
+
+    def test_two_level_community_size(self):
+        graph = generators.two_level_community(3, 8, seed=0)
+        assert graph.num_nodes == 24
+        assert graph.is_symmetric()
+
+    def test_random_dag_has_source_nodes(self):
+        graph = generators.random_dag(25, 60, seed=0)
+        assert (graph.in_degrees() == 0).any()
+
+    def test_random_dag_is_acyclic(self):
+        graph = generators.random_dag(25, 60, seed=1)
+        # Every edge goes from a higher id to a lower id, so ids are a
+        # reverse topological order.
+        assert all(u > v for u, v in graph.edges())
+
+    def test_generators_accept_generator_instance(self):
+        rng = np.random.default_rng(5)
+        graph = generators.erdos_renyi(20, 30, seed=rng)
+        assert graph.num_edges == 30
+
+    def test_different_seeds_differ(self):
+        first = generators.preferential_attachment(40, 2, seed=1)
+        second = generators.preferential_attachment(40, 2, seed=2)
+        assert set(first.edges()) != set(second.edges())

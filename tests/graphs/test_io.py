@@ -1,0 +1,84 @@
+"""Unit tests for edge-list reading and writing."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graphs import DiGraph, read_edge_list, write_edge_list
+from repro.graphs.io import parse_edge_lines
+
+
+class TestParseEdgeLines:
+    def test_basic_parsing(self):
+        lines = ["1\t2", "2\t3"]
+        assert list(parse_edge_lines(lines)) == [("1", "2"), ("2", "3")]
+
+    def test_comments_and_blank_lines_skipped(self):
+        lines = ["# header", "", "  ", "1 2"]
+        assert list(parse_edge_lines(lines)) == [("1", "2")]
+
+    def test_extra_fields_ignored(self):
+        assert list(parse_edge_lines(["1 2 0.5"])) == [("1", "2")]
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphFormatError):
+            list(parse_edge_lines(["only-one-field"]))
+
+    def test_custom_comment_prefix(self):
+        lines = ["% comment", "1 2"]
+        assert list(parse_edge_lines(lines, comment="%")) == [("1", "2")]
+
+    def test_custom_delimiter(self):
+        assert list(parse_edge_lines(["1,2"], delimiter=",")) == [("1", "2")]
+
+
+class TestReadWrite:
+    def test_roundtrip(self, tmp_path):
+        graph = DiGraph.from_edge_list([("a", "b"), ("b", "c"), ("c", "a")])
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path, header="test graph")
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == 3
+        assert loaded.num_edges == 3
+        assert {(loaded.label_of(u), loaded.label_of(v)) for u, v in loaded.edges()} == {
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "a"),
+        }
+
+    def test_read_snap_style_file(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# Directed graph\n# FromNodeId\tToNodeId\n0\t1\n1\t2\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_read_symmetrize(self, tmp_path):
+        path = tmp_path / "undirected.txt"
+        path.write_text("0\t1\n")
+        graph = read_edge_list(path, symmetrize=True)
+        assert graph.num_edges == 2
+        assert graph.is_symmetric()
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0\t1\n1\t2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_header_written_as_comment(self, tmp_path):
+        graph = DiGraph(2, [(0, 1)])
+        path = tmp_path / "out.txt"
+        write_edge_list(graph, path, header="line one\nline two")
+        content = path.read_text()
+        assert content.startswith("# line one\n# line two\n")
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("justonefield\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)

@@ -1,0 +1,90 @@
+"""Property-based tests for the graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import DiGraph
+
+
+def edge_lists(max_nodes: int = 10, max_edges: int = 40):
+    """Strategy producing (num_nodes, edge list) pairs with valid endpoints."""
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=max_edges,
+            ),
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_degree_sums_equal_edge_count(data):
+    num_nodes, edges = data
+    graph = DiGraph(num_nodes, edges)
+    assert int(graph.in_degrees().sum()) == graph.num_edges
+    assert int(graph.out_degrees().sum()) == graph.num_edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_edges_iteration_matches_has_edge(data):
+    num_nodes, edges = data
+    graph = DiGraph(num_nodes, edges)
+    listed = set(graph.edges())
+    assert listed == {(int(u), int(v)) for u, v in edges}
+    for u, v in listed:
+        assert graph.has_edge(u, v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_reverse_is_involutive_and_swaps_degrees(data):
+    num_nodes, edges = data
+    graph = DiGraph(num_nodes, edges)
+    reverse = graph.reverse()
+    assert np.array_equal(graph.in_degrees(), reverse.out_degrees())
+    assert np.array_equal(graph.out_degrees(), reverse.in_degrees())
+    assert set(graph.edges()) == set(reverse.reverse().edges())
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_in_neighbors_consistent_with_out_neighbors(data):
+    num_nodes, edges = data
+    graph = DiGraph(num_nodes, edges)
+    for node in graph.nodes():
+        for neighbor in graph.in_neighbors(node):
+            assert node in graph.out_neighbors(int(neighbor))
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_transition_matrix_column_sums(data):
+    num_nodes, edges = data
+    graph = DiGraph(num_nodes, edges)
+    sums = np.asarray(graph.transition_matrix().sum(axis=0)).ravel()
+    expected = (graph.in_degrees() > 0).astype(float)
+    assert np.allclose(sums, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_sampled_in_neighbors_are_real_in_neighbors(data, seed):
+    num_nodes, edges = data
+    graph = DiGraph(num_nodes, edges)
+    rng = np.random.default_rng(seed)
+    nodes = np.arange(num_nodes)
+    sampled = graph.sample_in_neighbors(nodes, rng)
+    for node, pick in zip(nodes, sampled):
+        if pick < 0:
+            assert graph.in_degree(int(node)) == 0
+        else:
+            assert pick in graph.in_neighbors(int(node))

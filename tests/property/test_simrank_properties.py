@@ -1,0 +1,101 @@
+"""Property-based tests of SimRank invariants across all implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import naive_simrank, simrank_matrix
+from repro.graphs import DiGraph
+from repro.sling import exact_correction_factors
+
+C = 0.6
+
+
+def small_graphs(max_nodes: int = 7, max_edges: int = 20):
+    """Strategy producing small DiGraph instances."""
+    return (
+        st.integers(min_value=2, max_value=max_nodes)
+        .flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=n - 1),
+                        st.integers(min_value=0, max_value=n - 1),
+                    ).filter(lambda edge: edge[0] != edge[1]),
+                    max_size=max_edges,
+                ),
+            )
+        )
+        .map(lambda data: DiGraph(data[0], data[1]))
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_power_method_scores_are_valid_similarities(graph):
+    matrix = simrank_matrix(graph, c=C, num_iterations=25)
+    assert np.allclose(matrix.diagonal(), 1.0)
+    assert np.allclose(matrix, matrix.T)
+    assert matrix.min() >= 0.0
+    assert matrix.max() <= 1.0 + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_graphs(max_nodes=5, max_edges=12))
+def test_power_method_agrees_with_naive_iteration(graph):
+    iterations = 12
+    matrix = simrank_matrix(graph, c=C, num_iterations=iterations)
+    oracle = naive_simrank(graph, c=C, num_iterations=iterations)
+    for (u, v), value in oracle.items():
+        assert abs(matrix[u, v] - value) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_zero_in_degree_pairs_have_zero_similarity(graph):
+    matrix = simrank_matrix(graph, c=C, num_iterations=20)
+    sources = np.flatnonzero(graph.in_degrees() == 0)
+    for source in sources:
+        for other in graph.nodes():
+            if other != source:
+                assert matrix[source, other] == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_correction_factors_lie_in_unit_interval(graph):
+    matrix = simrank_matrix(graph, c=C, num_iterations=30)
+    corrections = exact_correction_factors(graph, matrix, C)
+    assert np.all(corrections >= 0.0)
+    assert np.all(corrections <= 1.0)
+    # Zero-in-degree nodes have d = 1, single-in-neighbour nodes d = 1 - c.
+    for node in graph.nodes():
+        if graph.in_degree(node) == 0:
+            assert corrections[node] == 1.0
+        elif graph.in_degree(node) == 1:
+            assert abs(corrections[node] - (1.0 - C)) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_graphs(max_nodes=6, max_edges=15))
+def test_lemma4_reconstruction_matches_simrank(graph):
+    """Σ_l c^l (P^l)^T D P^l must reproduce the SimRank matrix (Lemma 4/5)."""
+    truth = simrank_matrix(graph, c=C, num_iterations=50)
+    corrections = exact_correction_factors(graph, truth, C)
+    transition = graph.transition_matrix().toarray()
+    reconstruction = np.zeros_like(truth)
+    power = np.eye(graph.num_nodes)
+    for level in range(50):
+        reconstruction += (C**level) * power.T @ np.diag(corrections) @ power
+        power = transition @ power
+    assert np.abs(reconstruction - truth).max() < 5e-3
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs(), st.integers(min_value=1, max_value=20))
+def test_simrank_iteration_is_monotone_nondecreasing(graph, iterations):
+    fewer = simrank_matrix(graph, c=C, num_iterations=iterations)
+    more = simrank_matrix(graph, c=C, num_iterations=iterations + 3)
+    assert np.all(more >= fewer - 1e-12)

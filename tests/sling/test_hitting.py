@@ -1,0 +1,280 @@
+"""Unit tests for hitting probabilities: Algorithm 2, Algorithm 5, containers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graphs import DiGraph, generators
+from repro.sling import (
+    HittingProbabilitySet,
+    build_hitting_sets,
+    exact_near_hops,
+    neighborhood_weight,
+    push_frontier,
+    reverse_push,
+)
+from repro.sling.hitting import expected_set_size_bound, theoretical_error_bound
+
+SQRT_C = math.sqrt(0.6)
+
+
+def exact_hitting_probabilities(graph: DiGraph, sqrt_c: float, max_level: int) -> list[np.ndarray]:
+    """Exact h^(l)(i, k) as matrices: entry [i, k] at index l (test oracle)."""
+    n = graph.num_nodes
+    scaled = sqrt_c * graph.transition_matrix().toarray()  # R = sqrt(c) P
+    levels = [np.eye(n)]
+    for _ in range(max_level):
+        # h^(l+1)(i, k) = sum_x in I(i) sqrt(c)/|I(i)| h^(l)(x, k)
+        # In matrix form: H_{l+1}[i, k] = sum_x R[x, i] H_l[x, k] = (R^T H_l)[i, k]
+        levels.append(scaled.T @ levels[-1])
+    return levels
+
+
+class TestHittingProbabilitySet:
+    def test_add_accumulates(self):
+        hitting_set = HittingProbabilitySet()
+        hitting_set.add(1, 4, 0.2)
+        hitting_set.add(1, 4, 0.3)
+        assert hitting_set.get(1, 4) == pytest.approx(0.5)
+
+    def test_set_overwrites(self):
+        hitting_set = HittingProbabilitySet()
+        hitting_set.add(0, 1, 0.4)
+        hitting_set.set(0, 1, 0.1)
+        assert hitting_set.get(0, 1) == pytest.approx(0.1)
+
+    def test_get_default(self):
+        hitting_set = HittingProbabilitySet()
+        assert hitting_set.get(3, 7) == 0.0
+        assert hitting_set.get(3, 7, default=-1.0) == -1.0
+
+    def test_len_and_items(self):
+        hitting_set = HittingProbabilitySet({0: {0: 1.0}, 2: {3: 0.1, 4: 0.2}})
+        assert len(hitting_set) == 3
+        assert set(hitting_set.items()) == {(0, 0, 1.0), (2, 3, 0.1), (2, 4, 0.2)}
+
+    def test_level_items_and_max_level(self):
+        hitting_set = HittingProbabilitySet({0: {0: 1.0}, 5: {1: 0.2}})
+        assert hitting_set.level_items(5) == {1: 0.2}
+        assert hitting_set.level_items(9) == {}
+        assert hitting_set.max_level() == 5
+        assert HittingProbabilitySet().max_level() == -1
+
+    def test_drop_levels(self):
+        hitting_set = HittingProbabilitySet({0: {0: 1.0}, 1: {1: 0.3}, 2: {2: 0.1}})
+        hitting_set.drop_levels([1, 2])
+        assert len(hitting_set) == 1
+        assert hitting_set.get(0, 0) == 1.0
+
+    def test_equality_and_copy(self):
+        original = HittingProbabilitySet({0: {0: 1.0}, 1: {2: 0.5}})
+        duplicate = original.copy()
+        assert original == duplicate
+        duplicate.set(1, 2, 0.9)
+        assert original != duplicate
+        assert original.get(1, 2) == 0.5
+
+    def test_merged_with_prefers_other(self):
+        base = HittingProbabilitySet({1: {0: 0.1}})
+        overlay = HittingProbabilitySet({1: {0: 0.7}, 2: {5: 0.2}})
+        merged = base.merged_with(overlay)
+        assert merged.get(1, 0) == 0.7
+        assert merged.get(2, 5) == 0.2
+        assert base.get(1, 0) == 0.1  # unchanged
+
+    def test_total_mass(self):
+        hitting_set = HittingProbabilitySet({1: {0: 0.2, 3: 0.3}})
+        assert hitting_set.total_mass(1) == pytest.approx(0.5)
+        assert hitting_set.total_mass(9) == 0.0
+
+    def test_size_accounting(self):
+        hitting_set = HittingProbabilitySet({0: {0: 1.0}, 1: {2: 0.5}})
+        assert hitting_set.size_bytes() == 24
+        assert hitting_set.deep_size_bytes() > hitting_set.size_bytes()
+
+    def test_empty_levels_are_dropped_at_construction(self):
+        hitting_set = HittingProbabilitySet({0: {}, 1: {2: 0.5}})
+        assert 0 not in hitting_set.levels
+        assert len(hitting_set) == 1
+
+
+class TestReversePush:
+    def test_level_zero_is_target_itself(self):
+        graph = generators.cycle(5)
+        result = reverse_push(graph, 2, SQRT_C, theta=0.001)
+        assert result[0] == {2: 1.0}
+
+    def test_invalid_parameters(self):
+        graph = generators.cycle(5)
+        with pytest.raises(ParameterError):
+            reverse_push(graph, 0, SQRT_C, theta=0.0)
+        with pytest.raises(ParameterError):
+            reverse_push(graph, 0, 1.5, theta=0.01)
+
+    def test_all_entries_exceed_theta(self):
+        graph = generators.preferential_attachment(40, 3, seed=1)
+        theta = 0.01
+        result = reverse_push(graph, 0, SQRT_C, theta)
+        for entries in result.values():
+            assert all(value > theta for value in entries.values())
+
+    def test_values_underestimate_exact_probabilities(self):
+        graph = generators.two_level_community(2, 8, seed=2)
+        theta = 0.005
+        max_level = 12
+        exact = exact_hitting_probabilities(graph, SQRT_C, max_level)
+        for target in [0, 5, 11]:
+            result = reverse_push(graph, target, SQRT_C, theta, max_levels=max_level)
+            for level, entries in result.items():
+                for source, value in entries.items():
+                    true_value = exact[level][source, target]
+                    assert value <= true_value + 1e-12
+                    assert true_value - value <= theoretical_error_bound(
+                        SQRT_C, theta, level
+                    ) + 1e-12
+
+    def test_error_bounded_by_lemma7_for_missing_entries(self):
+        graph = generators.two_level_community(2, 8, seed=2)
+        theta = 0.02
+        max_level = 10
+        exact = exact_hitting_probabilities(graph, SQRT_C, max_level)
+        target = 3
+        result = reverse_push(graph, target, SQRT_C, theta, max_levels=max_level)
+        for level in range(max_level):
+            bound = theoretical_error_bound(SQRT_C, theta, level)
+            for source in graph.nodes():
+                approx = result.get(level, {}).get(source, 0.0)
+                assert exact[level][source, target] - approx <= bound + 1e-12
+
+    def test_level_mass_bounded_by_sqrt_c_power(self):
+        graph = generators.preferential_attachment(50, 3, seed=3)
+        result = reverse_push(graph, 0, SQRT_C, theta=0.001)
+        for level, entries in result.items():
+            assert sum(entries.values()) <= SQRT_C**level + 1e-9
+
+    def test_max_levels_caps_depth(self):
+        graph = generators.complete(6)
+        result = reverse_push(graph, 0, SQRT_C, theta=1e-6, max_levels=3)
+        assert max(result) <= 2
+
+    def test_terminates_on_zero_out_degree_target(self):
+        graph = generators.path(4)  # node 3 has no out-neighbours
+        result = reverse_push(graph, 3, SQRT_C, theta=0.001)
+        assert result == {0: {3: 1.0}}
+
+    def test_push_frontier_conserves_scaled_mass(self):
+        graph = generators.complete(5)
+        nodes = np.array([0, 1], dtype=np.int64)
+        values = np.array([0.5, 0.25])
+        next_nodes, next_values = push_frontier(graph, nodes, values, SQRT_C)
+        # Every out-edge lands on a node with in-degree 4; each source has 4
+        # out-edges, so the total pushed mass is sqrt(c) * sum(values).
+        assert next_values.sum() == pytest.approx(SQRT_C * values.sum())
+        assert set(next_nodes.tolist()) <= set(range(5))
+
+    def test_push_frontier_empty_result_for_sink(self):
+        graph = generators.path(3)
+        next_nodes, next_values = push_frontier(
+            graph, np.array([2], dtype=np.int64), np.array([1.0]), SQRT_C
+        )
+        assert next_nodes.size == 0
+        assert next_values.size == 0
+
+
+class TestBuildHittingSets:
+    def test_every_node_has_level_zero_self_entry(self):
+        graph = generators.preferential_attachment(30, 2, seed=4)
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta=0.01)
+        for node, hitting_set in enumerate(hitting_sets):
+            assert hitting_set.get(0, node) == pytest.approx(1.0)
+
+    def test_transposition_is_consistent_with_reverse_push(self):
+        graph = generators.two_level_community(2, 6, seed=1)
+        theta = 0.01
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta)
+        for target in graph.nodes():
+            pushed = reverse_push(graph, target, SQRT_C, theta)
+            for level, entries in pushed.items():
+                for source, value in entries.items():
+                    assert hitting_sets[source].get(level, target) == pytest.approx(
+                        value
+                    )
+
+    def test_restricting_targets_limits_entries(self):
+        graph = generators.cycle(6)
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta=0.01, targets=[0])
+        total_entries = sum(len(hs) for hs in hitting_sets)
+        assert total_entries == len(reverse_push(graph, 0, SQRT_C, 0.01)[0]) + sum(
+            len(entries)
+            for level, entries in reverse_push(graph, 0, SQRT_C, 0.01).items()
+            if level > 0
+        )
+
+    def test_set_sizes_respect_observation1_bound(self):
+        graph = generators.preferential_attachment(60, 3, seed=5)
+        theta = 0.01
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta)
+        bound = expected_set_size_bound(SQRT_C, theta)
+        for hitting_set in hitting_sets:
+            assert len(hitting_set) <= bound + 1
+
+
+class TestExactNearHops:
+    def test_step_one_values(self):
+        graph = DiGraph(4, [(1, 0), (2, 0), (3, 1)])
+        result = exact_near_hops(graph, 0, SQRT_C)
+        assert result[0] == {0: 1.0}
+        assert result[1][1] == pytest.approx(SQRT_C / 2)
+        assert result[1][2] == pytest.approx(SQRT_C / 2)
+
+    def test_step_two_values(self):
+        graph = DiGraph(4, [(1, 0), (2, 0), (3, 1)])
+        result = exact_near_hops(graph, 0, SQRT_C)
+        # Walk 0 -> 1 -> 3 has probability sqrt(c)/2 * sqrt(c)/1.
+        assert result[2][3] == pytest.approx(SQRT_C * SQRT_C / 2)
+
+    def test_zero_in_degree_node_only_has_level_zero(self):
+        graph = generators.path(3)
+        result = exact_near_hops(graph, 0, SQRT_C)
+        assert set(result) == {0}
+
+    def test_matches_exact_matrix_computation(self):
+        graph = generators.two_level_community(2, 7, seed=3)
+        exact = exact_hitting_probabilities(graph, SQRT_C, 2)
+        for node in [0, 4, 13]:
+            result = exact_near_hops(graph, node, SQRT_C)
+            for level in (1, 2):
+                for other in graph.nodes():
+                    expected = exact[level][node, other]
+                    assert result.get(level, {}).get(other, 0.0) == pytest.approx(
+                        expected, abs=1e-12
+                    )
+
+    def test_invalid_sqrt_c(self):
+        graph = generators.cycle(4)
+        with pytest.raises(ParameterError):
+            exact_near_hops(graph, 0, 1.2)
+
+
+class TestNeighborhoodWeight:
+    def test_matches_definition(self):
+        graph = DiGraph(5, [(1, 0), (2, 0), (3, 1), (4, 1), (0, 2)])
+        # eta(0) = |I(0)| + |I(1)| + |I(2)| = 2 + 2 + 1
+        assert neighborhood_weight(graph, 0) == 5
+
+    def test_zero_for_source_nodes(self):
+        graph = generators.path(4)
+        assert neighborhood_weight(graph, 0) == 0
+
+    def test_bound_helpers(self):
+        assert expected_set_size_bound(SQRT_C, 0.01) == pytest.approx(
+            1.0 / ((1 - SQRT_C) * 0.01)
+        )
+        with pytest.raises(ParameterError):
+            expected_set_size_bound(SQRT_C, 0.0)
+        assert theoretical_error_bound(SQRT_C, 0.01, 0) == 0.0
+        assert theoretical_error_bound(SQRT_C, 0.01, 5) > 0.0

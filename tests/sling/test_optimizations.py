@@ -1,0 +1,165 @@
+"""Unit tests for the Section-5.2 / 5.3 optimizations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graphs import generators
+from repro.sling import (
+    AccuracyEnhancer,
+    SlingIndex,
+    SpaceReduction,
+    build_hitting_sets,
+    exact_near_hops,
+    neighborhood_weight,
+)
+
+EPS = 0.05
+SQRT_C = 0.6**0.5
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.two_level_community(3, 10, seed=13)
+
+
+@pytest.fixture(scope="module")
+def truth(graph, ground_truth_cache):
+    return ground_truth_cache(graph)
+
+
+class TestSpaceReduction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            SpaceReduction(theta=0.0)
+        with pytest.raises(ParameterError):
+            SpaceReduction(theta=0.01, gamma=0.0)
+
+    def test_weight_budget(self):
+        reduction = SpaceReduction(theta=0.001, gamma=10.0)
+        assert reduction.weight_budget == pytest.approx(10_000)
+
+    def test_is_reducible_uses_neighborhood_weight(self, graph):
+        reduction = SpaceReduction(theta=0.5, gamma=1.0)  # budget = 2
+        for node in graph.nodes():
+            expected = neighborhood_weight(graph, node) <= 2
+            assert reduction.is_reducible(graph, node) == expected
+
+    def test_apply_drops_levels_one_and_two(self, graph):
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta=0.01)
+        reduction = SpaceReduction(theta=0.01, gamma=1e9)  # everything reducible
+        reduced = reduction.apply(graph, hitting_sets)
+        assert reduced.all()
+        for hitting_set in hitting_sets:
+            assert not hitting_set.level_items(1)
+            assert not hitting_set.level_items(2)
+
+    def test_apply_reduces_total_size(self, graph):
+        baseline = build_hitting_sets(graph, SQRT_C, theta=0.01)
+        reduced_sets = build_hitting_sets(graph, SQRT_C, theta=0.01)
+        SpaceReduction(theta=0.01, gamma=1e9).apply(graph, reduced_sets)
+        assert sum(len(hs) for hs in reduced_sets) < sum(len(hs) for hs in baseline)
+
+    def test_reconstruct_restores_exact_near_hops(self, graph):
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta=0.01)
+        reduction = SpaceReduction(theta=0.01, gamma=1e9)
+        reduction.apply(graph, hitting_sets)
+        node = 5
+        rebuilt = reduction.reconstruct(graph, node, hitting_sets[node], SQRT_C)
+        exact = exact_near_hops(graph, node, SQRT_C)
+        for level in (1, 2):
+            for target, value in exact.get(level, {}).items():
+                assert rebuilt.get(level, target) == pytest.approx(value)
+
+    def test_index_with_reduction_stays_within_epsilon(self, graph, truth):
+        index = SlingIndex(graph, epsilon=EPS, seed=1, reduce_space=True).build()
+        assert index.build_statistics.num_reduced_nodes > 0
+        estimated = index.all_pairs()
+        assert np.abs(estimated - truth).max() <= EPS
+
+    def test_reduction_shrinks_index_size(self, graph):
+        plain = SlingIndex(graph, epsilon=EPS, seed=1).build()
+        reduced = SlingIndex(graph, epsilon=EPS, seed=1, reduce_space=True).build()
+        assert reduced.index_size_bytes() < plain.index_size_bytes()
+
+    def test_reduced_single_source_matches_truth(self, graph, truth):
+        index = SlingIndex(graph, epsilon=EPS, seed=2, reduce_space=True).build()
+        scores = index.single_source(3)
+        assert np.abs(scores - truth[3]).max() <= EPS
+
+
+class TestAccuracyEnhancer:
+    def test_invalid_parameters(self, graph):
+        with pytest.raises(ParameterError):
+            AccuracyEnhancer(graph, epsilon=0.0, sqrt_c=SQRT_C)
+        with pytest.raises(ParameterError):
+            AccuracyEnhancer(graph, epsilon=0.1, sqrt_c=1.5)
+
+    def test_mark_budget_is_inverse_sqrt_epsilon(self, graph):
+        enhancer = AccuracyEnhancer(graph, epsilon=0.04, sqrt_c=SQRT_C)
+        assert enhancer.mark_budget == 5
+
+    def test_marks_respect_budget_and_degree_cutoff(self, graph):
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta=0.01)
+        enhancer = AccuracyEnhancer(graph, epsilon=EPS, sqrt_c=SQRT_C)
+        enhancer.mark_all(hitting_sets)
+        in_degrees = graph.in_degrees()
+        for node in graph.nodes():
+            marks = enhancer.marks_for(node)
+            assert len(marks) <= enhancer.mark_budget
+            for _, target, _ in marks:
+                assert in_degrees[target] <= enhancer.mark_budget
+
+    def test_enhanced_set_is_superset(self, graph):
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta=0.01)
+        enhancer = AccuracyEnhancer(graph, epsilon=EPS, sqrt_c=SQRT_C)
+        enhancer.mark_all(hitting_sets)
+        node = 4
+        enhanced = enhancer.enhance(node, hitting_sets[node])
+        assert len(enhanced) >= len(hitting_sets[node])
+        for level, target, value in hitting_sets[node].items():
+            assert enhanced.get(level, target) == pytest.approx(value)
+
+    def test_generated_values_never_exceed_exact(self, graph):
+        # Section 5.3 argues the generated approximations stay below the true
+        # hitting probabilities; verify against the exact matrix values.
+        theta = 0.02
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta)
+        enhancer = AccuracyEnhancer(graph, epsilon=EPS, sqrt_c=SQRT_C)
+        enhancer.mark_all(hitting_sets)
+        scaled_transition = graph.transition_matrix().toarray() * SQRT_C
+        node = 7
+        enhanced = enhancer.enhance(node, hitting_sets[node])
+        # h^(l)(node, k) = (R^l e_node)[k] with R = sqrt(c) P  (Lemma 5).
+        exact_level = np.eye(graph.num_nodes)[node]
+        for level in range(enhanced.max_level() + 1):
+            for target, value in enhanced.level_items(level).items():
+                assert value <= exact_level[target] + 1e-9
+            exact_level = scaled_transition @ exact_level
+
+    def test_enhancement_does_not_hurt_accuracy(self, graph, truth):
+        plain = SlingIndex(graph, epsilon=EPS, seed=3).build()
+        enhanced = SlingIndex(
+            graph, epsilon=EPS, seed=3, enhance_accuracy=True
+        ).build()
+        plain_error = np.abs(plain.all_pairs() - truth).max()
+        enhanced_error = np.abs(enhanced.all_pairs() - truth).max()
+        # The enhanced hitting probabilities are closer to the true values, so
+        # the overall error should not get materially worse (the correction
+        # factors are shared between the two indexes) and must stay within ε.
+        assert enhanced_error <= EPS
+        assert enhanced_error <= plain_error + 0.005
+
+    def test_enhancement_with_space_reduction_combined(self, graph, truth):
+        index = SlingIndex(
+            graph, epsilon=EPS, seed=4, reduce_space=True, enhance_accuracy=True
+        ).build()
+        assert np.abs(index.all_pairs() - truth).max() <= EPS
+
+    def test_no_marks_returns_same_object(self, graph):
+        hitting_sets = build_hitting_sets(graph, SQRT_C, theta=0.01)
+        enhancer = AccuracyEnhancer(graph, epsilon=EPS, sqrt_c=SQRT_C)
+        # mark_all was never called, so every node is unmarked.
+        assert enhancer.enhance(0, hitting_sets[0]) is hitting_sets[0]

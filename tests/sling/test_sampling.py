@@ -1,0 +1,125 @@
+"""Unit tests for the Bernoulli-mean estimators (Algorithms 1 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sling import (
+    estimate_bernoulli_mean_adaptive,
+    estimate_bernoulli_mean_fixed,
+)
+from repro.sling.sampling import (
+    estimate_bernoulli_mean_adaptive_batch,
+    estimate_bernoulli_mean_fixed_batch,
+    fixed_sample_count,
+)
+
+
+def make_sampler(probability: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return lambda: bool(rng.random() < probability)
+
+
+def make_batch_sampler(probability: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return lambda count: int((rng.random(count) < probability).sum())
+
+
+class TestFixedSampleCount:
+    def test_count_grows_with_accuracy(self):
+        assert fixed_sample_count(0.01, 0.1) > fixed_sample_count(0.1, 0.1)
+
+    def test_count_grows_with_confidence(self):
+        assert fixed_sample_count(0.05, 0.001) > fixed_sample_count(0.05, 0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            fixed_sample_count(0.0, 0.1)
+        with pytest.raises(ParameterError):
+            fixed_sample_count(0.1, 1.5)
+        with pytest.raises(ParameterError):
+            fixed_sample_count(0.1, 0.1, scale=0.0)
+
+
+class TestFixedEstimator:
+    @pytest.mark.parametrize("probability", [0.0, 0.05, 0.3, 0.9])
+    def test_estimate_is_within_epsilon(self, probability):
+        estimate = estimate_bernoulli_mean_fixed(
+            make_sampler(probability, seed=1), epsilon=0.05, delta=0.01
+        )
+        assert abs(estimate.mean - probability) <= 0.05
+        assert estimate.num_samples == fixed_sample_count(0.05, 0.01)
+        assert not estimate.adaptive_phase_used
+
+    def test_batch_variant_equivalent_budget(self):
+        scalar = estimate_bernoulli_mean_fixed(
+            make_sampler(0.2, seed=2), epsilon=0.1, delta=0.05
+        )
+        batch = estimate_bernoulli_mean_fixed_batch(
+            make_batch_sampler(0.2, seed=2), epsilon=0.1, delta=0.05
+        )
+        assert scalar.num_samples == batch.num_samples
+        assert abs(batch.mean - 0.2) <= 0.1
+
+
+class TestAdaptiveEstimator:
+    @pytest.mark.parametrize("probability", [0.0, 0.02, 0.2, 0.7])
+    def test_estimate_is_within_epsilon(self, probability):
+        estimate = estimate_bernoulli_mean_adaptive(
+            make_sampler(probability, seed=3), epsilon=0.05, delta=0.01
+        )
+        assert abs(estimate.mean - probability) <= 0.05
+
+    @pytest.mark.parametrize("probability", [0.0, 0.02, 0.2, 0.7])
+    def test_batch_estimate_is_within_epsilon(self, probability):
+        estimate = estimate_bernoulli_mean_adaptive_batch(
+            make_batch_sampler(probability, seed=4), epsilon=0.05, delta=0.01
+        )
+        assert abs(estimate.mean - probability) <= 0.05
+
+    def test_small_mean_skips_second_phase(self):
+        estimate = estimate_bernoulli_mean_adaptive(
+            make_sampler(0.001, seed=5), epsilon=0.05, delta=0.01
+        )
+        assert not estimate.adaptive_phase_used
+
+    def test_large_mean_triggers_second_phase(self):
+        estimate = estimate_bernoulli_mean_adaptive(
+            make_sampler(0.5, seed=6), epsilon=0.05, delta=0.01
+        )
+        assert estimate.adaptive_phase_used
+
+    def test_adaptive_uses_fewer_samples_for_rare_events(self):
+        # The whole point of Algorithm 4: when µ is small the sample budget is
+        # roughly max{µ, ε} / ε times smaller than Algorithm 1's.
+        adaptive = estimate_bernoulli_mean_adaptive(
+            make_sampler(0.01, seed=7), epsilon=0.01, delta=0.05
+        )
+        fixed_budget = fixed_sample_count(0.01, 0.05)
+        assert adaptive.num_samples < fixed_budget / 5
+
+    def test_adaptive_never_exceeds_reasonable_budget_for_large_mean(self):
+        estimate = estimate_bernoulli_mean_adaptive(
+            make_sampler(0.9, seed=8), epsilon=0.05, delta=0.05
+        )
+        # Budget should stay within a small constant factor of the fixed one.
+        assert estimate.num_samples <= 4 * fixed_sample_count(0.05, 0.05, scale=1.0)
+
+    def test_invalid_parameters(self):
+        sampler = make_sampler(0.5)
+        with pytest.raises(ParameterError):
+            estimate_bernoulli_mean_adaptive(sampler, epsilon=0.0, delta=0.1)
+        with pytest.raises(ParameterError):
+            estimate_bernoulli_mean_adaptive(sampler, epsilon=0.1, delta=0.0)
+        with pytest.raises(ParameterError):
+            estimate_bernoulli_mean_adaptive_batch(
+                make_batch_sampler(0.5), epsilon=1.2, delta=0.1
+            )
+
+    def test_deterministic_sampler_exact(self):
+        always_true = estimate_bernoulli_mean_adaptive(lambda: True, 0.1, 0.1)
+        assert always_true.mean == pytest.approx(1.0)
+        never_true = estimate_bernoulli_mean_adaptive(lambda: False, 0.1, 0.1)
+        assert never_true.mean == 0.0

@@ -1,0 +1,100 @@
+"""Unit tests for single-source queries (Algorithm 6 and the naive variant)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graphs import generators
+from repro.sling import SlingIndex
+from repro.sling.single_source import single_source_local_push
+
+EPS = 0.05
+
+
+@pytest.fixture(scope="module")
+def built_index():
+    graph = generators.two_level_community(3, 10, seed=11)
+    return SlingIndex(graph, epsilon=EPS, seed=3).build()
+
+
+class TestLocalPush:
+    def test_shape_and_range(self, built_index):
+        scores = built_index.single_source(0)
+        assert scores.shape == (30,)
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0)
+
+    def test_self_score_close_to_one(self, built_index):
+        for node in (0, 13, 29):
+            assert built_index.single_source(node)[node] == pytest.approx(1.0, abs=EPS)
+
+    def test_matches_ground_truth_within_epsilon(
+        self, community_graph, ground_truth_cache
+    ):
+        truth = ground_truth_cache(community_graph)
+        index = SlingIndex(community_graph, epsilon=EPS, seed=5).build()
+        for node in (0, 7, 21):
+            scores = index.single_source(node)
+            assert np.abs(scores - truth[node]).max() <= EPS
+
+    def test_agrees_with_pairwise_variant(self, built_index):
+        # Both variants approximate the same quantity from the same index, so
+        # they should agree to within the hitting-probability pruning error.
+        for node in (0, 15):
+            local_push = built_index.single_source(node, method="local_push")
+            pairwise = built_index.single_source(node, method="pairwise")
+            assert np.abs(local_push - pairwise).max() <= EPS
+
+    def test_unknown_method_rejected(self, built_index):
+        with pytest.raises(ParameterError):
+            built_index.single_source(0, method="bogus")
+
+    def test_cycle_gives_zero_off_diagonal(self):
+        graph = generators.cycle(8)
+        index = SlingIndex(graph, epsilon=EPS, seed=1).build()
+        scores = index.single_source(0)
+        assert scores[0] == pytest.approx(1.0, abs=EPS)
+        assert np.all(scores[1:] <= EPS)
+
+    def test_outward_star_all_leaves_similar(self, outward_star, decay):
+        index = SlingIndex(outward_star, c=decay, epsilon=EPS, seed=2).build()
+        scores = index.single_source(1)
+        for leaf in range(2, 6):
+            assert scores[leaf] == pytest.approx(decay, abs=EPS)
+        assert scores[0] == pytest.approx(0.0, abs=EPS)
+
+    def test_isolated_source_node(self):
+        # Node with no in-neighbours: only its self-similarity is non-zero.
+        graph = generators.path(5)
+        index = SlingIndex(graph, epsilon=EPS, seed=4).build()
+        scores = index.single_source(0)
+        assert scores[0] == pytest.approx(1.0, abs=EPS)
+        assert np.all(scores[1:] == 0.0)
+
+
+class TestSharedKernel:
+    def test_kernel_accepts_arbitrary_hitting_set(self, built_index):
+        graph = built_index.graph
+        query_set = built_index.query_hitting_set(4)
+        scores = single_source_local_push(
+            graph,
+            query_set,
+            built_index.correction_factors,
+            built_index.parameters.sqrt_c,
+            built_index.parameters.theta,
+        )
+        assert np.allclose(scores, built_index.single_source(4))
+
+    def test_empty_hitting_set_gives_zero_vector(self, built_index):
+        from repro.sling import HittingProbabilitySet
+
+        scores = single_source_local_push(
+            built_index.graph,
+            HittingProbabilitySet(),
+            built_index.correction_factors,
+            built_index.parameters.sqrt_c,
+            built_index.parameters.theta,
+        )
+        assert not scores.any()

@@ -1,0 +1,175 @@
+"""Unit tests for index persistence, disk-backed queries, out-of-core builds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, StorageError
+from repro.graphs import generators
+from repro.sling import (
+    DiskBackedIndex,
+    SlingIndex,
+    SlingParameters,
+    load_index,
+    out_of_core_build,
+    save_index,
+)
+from repro.sling.storage import RECORD_BYTES
+
+EPS = 0.1
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.two_level_community(2, 12, seed=19)
+
+
+@pytest.fixture(scope="module")
+def built_index(graph):
+    return SlingIndex(graph, epsilon=EPS, seed=5).build()
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_queries(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        loaded = load_index(directory, graph)
+        for pair in [(0, 1), (3, 20), (7, 7)]:
+            assert loaded.single_pair(*pair) == pytest.approx(
+                built_index.single_pair(*pair), abs=1e-9
+            )
+        assert np.allclose(
+            loaded.correction_factors, built_index.correction_factors
+        )
+
+    def test_roundtrip_preserves_parameters(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        loaded = load_index(directory, graph)
+        assert loaded.parameters == built_index.parameters
+
+    def test_saving_unbuilt_index_rejected(self, graph, tmp_path):
+        with pytest.raises(StorageError):
+            save_index(SlingIndex(graph, epsilon=EPS), tmp_path / "index")
+
+    def test_loading_against_wrong_graph_rejected(self, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        other_graph = generators.cycle(10)
+        with pytest.raises(StorageError):
+            load_index(directory, other_graph)
+
+    def test_loading_missing_directory_rejected(self, graph, tmp_path):
+        with pytest.raises(StorageError):
+            load_index(tmp_path / "does-not-exist", graph)
+
+    def test_corrupt_metadata_rejected(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        (directory / "sling_meta.json").write_text("{not json")
+        with pytest.raises(StorageError):
+            load_index(directory, graph)
+
+    def test_missing_data_file_rejected(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        (directory / "sling_data.npz").unlink()
+        with pytest.raises((StorageError, FileNotFoundError)):
+            load_index(directory, graph)
+
+    def test_metadata_only_directory_rejected_for_disk_backed(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        (directory / "sling_data.npz").unlink()
+        with pytest.raises((StorageError, FileNotFoundError)):
+            DiskBackedIndex(directory, graph)
+
+    def test_roundtrip_with_optimizations(self, graph, tmp_path, ground_truth_cache):
+        index = SlingIndex(
+            graph, epsilon=EPS, seed=6, reduce_space=True, enhance_accuracy=True
+        ).build()
+        directory = save_index(index, tmp_path / "optimized")
+        loaded = load_index(directory, graph)
+        truth = ground_truth_cache(graph)
+        assert np.abs(loaded.all_pairs() - truth).max() <= EPS
+
+
+class TestDiskBackedIndex:
+    def test_single_pair_matches_in_memory(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        for pair in [(0, 1), (5, 18), (10, 10)]:
+            assert disk.single_pair(*pair) == pytest.approx(
+                built_index.single_pair(*pair), abs=1e-9
+            )
+
+    def test_single_source_matches_in_memory(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        assert np.allclose(disk.single_source(2), built_index.single_source(2))
+
+    def test_io_accounting(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        assert disk.num_set_reads == 0
+        disk.single_pair(0, 1)
+        assert disk.num_set_reads == 2  # exactly two hitting sets per pair query
+        disk.single_source(0)
+        assert disk.num_set_reads == 3
+
+    def test_graph_mismatch_rejected(self, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        with pytest.raises(StorageError):
+            DiskBackedIndex(directory, generators.cycle(5))
+
+    def test_parameters_exposed(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        assert disk.parameters.epsilon == built_index.parameters.epsilon
+
+
+class TestOutOfCoreBuild:
+    @pytest.fixture(scope="class")
+    def params(self, graph):
+        return SlingParameters.from_accuracy_target(
+            num_nodes=graph.num_nodes, epsilon=EPS
+        )
+
+    def test_build_produces_queryable_index(
+        self, graph, params, tmp_path, ground_truth_cache
+    ):
+        report = out_of_core_build(
+            graph, params, tmp_path / "ooc", buffer_bytes=4096, seed=0
+        )
+        assert report.num_records > 0
+        loaded = load_index(report.directory, graph)
+        truth = ground_truth_cache(graph)
+        assert np.abs(loaded.all_pairs() - truth).max() <= EPS
+
+    def test_small_buffer_spills_multiple_runs(self, graph, params, tmp_path):
+        report = out_of_core_build(
+            graph, params, tmp_path / "small", buffer_bytes=RECORD_BYTES * 16, seed=0
+        )
+        assert report.num_spill_runs > 1
+
+    def test_large_buffer_uses_single_run(self, graph, params, tmp_path):
+        report = out_of_core_build(
+            graph, params, tmp_path / "large", buffer_bytes=64 * 1024 * 1024, seed=0
+        )
+        assert report.num_spill_runs == 1
+
+    def test_buffer_size_does_not_change_results(self, graph, params, tmp_path):
+        small = out_of_core_build(
+            graph, params, tmp_path / "a", buffer_bytes=RECORD_BYTES * 8, seed=0
+        )
+        large = out_of_core_build(
+            graph, params, tmp_path / "b", buffer_bytes=1 << 22, seed=0
+        )
+        small_index = load_index(small.directory, graph)
+        large_index = load_index(large.directory, graph)
+        for node in range(graph.num_nodes):
+            assert small_index.hitting_sets[node] == large_index.hitting_sets[node]
+
+    def test_invalid_buffer_rejected(self, graph, params, tmp_path):
+        with pytest.raises(ParameterError):
+            out_of_core_build(graph, params, tmp_path / "bad", buffer_bytes=1)
+
+    def test_run_files_are_cleaned_up(self, graph, params, tmp_path):
+        work = tmp_path / "cleanup"
+        out_of_core_build(graph, params, work, buffer_bytes=RECORD_BYTES * 8, seed=0)
+        assert list((work / "runs").glob("*.bin")) == []

@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: Common flags keeping every CLI invocation tiny and fast.
+FAST = ["--scale", "0.05", "--epsilon", "0.1", "--mc-walks", "30"]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--datasets", "NotADataset"])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--methods", "Magic"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.datasets == list(("GrQc", "AS", "Wiki-Vote", "HepTh"))
+        assert args.epsilon == 0.05
+
+    def test_query_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--dataset", "GrQc"])
+
+
+class TestCommands:
+    def test_table3(self, capsys):
+        assert main(["table3", *FAST]) == 0
+        output = capsys.readouterr().out
+        assert "GrQc" in output and "Indochina" in output
+
+    def test_figure1(self, capsys):
+        exit_code = main(
+            ["figure1", *FAST, "--datasets", "GrQc", "--methods", "SLING", "--queries", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output and "SLING" in output
+
+    def test_figure2(self, capsys):
+        exit_code = main(
+            ["figure2", *FAST, "--datasets", "GrQc", "--methods", "SLING", "--queries", "2"]
+        )
+        assert exit_code == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_figure3_and_4(self, capsys):
+        assert main(["figure3", *FAST, "--datasets", "GrQc", "--methods", "SLING"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+        assert main(["figure4", *FAST, "--datasets", "GrQc", "--methods", "SLING"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_figure5_6_7(self, capsys):
+        assert main(["figure5", *FAST, "--datasets", "GrQc", "--methods", "SLING"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+        assert main(["figure6", *FAST, "--datasets", "GrQc", "--methods", "SLING"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+        assert (
+            main(["figure7", *FAST, "--datasets", "GrQc", "--methods", "SLING", "--k", "5"])
+            == 0
+        )
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_query_single_pair_and_top_k(self, capsys):
+        exit_code = main(
+            ["query", *FAST, "--dataset", "GrQc", "--source", "3", "--target", "5", "--top", "4"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "s(3, 5)" in output
+        assert "top-4" in output
+
+    def test_query_supports_mc_sqrtc_method_in_figures(self, capsys):
+        exit_code = main(
+            ["figure1", *FAST, "--datasets", "GrQc", "--methods", "MC-sqrtc", "--queries", "5"]
+        )
+        assert exit_code == 0
+        assert "MC-sqrtc" in capsys.readouterr().out
