@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Engine throughput: batched vs. one-at-a-time queries, cold vs. warm cache.
+
+Unlike the figure benchmarks (which time one backend primitive under
+pytest-benchmark), this script measures the *engine layer* itself: how many
+single-source queries per second the :class:`~repro.engine.QueryEngine`
+sustains in four cells —
+
+* ``single_cold``   — one query at a time, caching disabled (the pre-engine
+  dispatch style: every query pays the full local-push cost);
+* ``single_warm``   — one at a time against a warmed LRU cache;
+* ``batched_cold``  — one ``single_source_many`` call on an empty cache
+  (within-batch deduplication amortizes repeated sources);
+* ``batched_warm``  — the same batch again, fully cache-resident.
+
+The workload revisits a hot set of sources (zipf-like skew), as a serving
+workload would.  Results are emitted as JSON on stdout::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --scale 0.1
+
+The headline number is ``speedups.batched_warm_vs_single_cold``, which the
+engine tests assert stays >= 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.engine import BackendConfig, QueryEngine, create_backend
+from repro.graphs import datasets
+
+
+def build_workload(
+    num_nodes: int, num_queries: int, distinct_sources: int, seed: int
+) -> list[int]:
+    """A skewed single-source workload: ``num_queries`` draws over a hot set
+    of ``distinct_sources`` nodes, earlier sources more popular (zipf-like)."""
+    if num_queries <= 0 or distinct_sources <= 0:
+        raise ValueError("num_queries and distinct_sources must be positive")
+    rng = np.random.default_rng(seed)
+    distinct_sources = min(distinct_sources, num_nodes)
+    hot = rng.choice(num_nodes, size=distinct_sources, replace=False)
+    weights = 1.0 / np.arange(1, distinct_sources + 1)
+    weights /= weights.sum()
+    return [int(node) for node in rng.choice(hot, size=num_queries, p=weights)]
+
+
+def _measure(run, num_queries: int) -> dict:
+    start = time.perf_counter()
+    run()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "queries_per_second": num_queries / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def run_benchmark(
+    *,
+    dataset: str = "GrQc",
+    scale: float = 0.1,
+    epsilon: float = 0.1,
+    num_queries: int = 60,
+    distinct_sources: int = 12,
+    cache_size: int = 64,
+    seed: int = 0,
+) -> dict:
+    """Run all four cells on one shared backend and return the JSON payload."""
+    graph = datasets.load_dataset(dataset, scale=scale, seed=seed)
+    config = BackendConfig(epsilon=epsilon, seed=seed)
+    backend = create_backend("sling", graph, config)
+    workload = build_workload(graph.num_nodes, num_queries, distinct_sources, seed)
+
+    cells: dict[str, dict] = {}
+
+    uncached = QueryEngine(backend, cache_size=0)
+    cells["single_cold"] = _measure(
+        lambda: [uncached.single_source(node) for node in workload], num_queries
+    )
+
+    warm = QueryEngine(backend, cache_size=cache_size)
+    for node in workload:  # warm the cache outside the measurement
+        warm.single_source(node)
+    warm.reset_statistics()
+    cells["single_warm"] = _measure(
+        lambda: [warm.single_source(node) for node in workload], num_queries
+    )
+    cells["single_warm"]["cache_hit_rate"] = warm.statistics.cache_hit_rate
+
+    batched = QueryEngine(backend, cache_size=cache_size)
+    cells["batched_cold"] = _measure(
+        lambda: batched.single_source_many(workload), num_queries
+    )
+    cells["batched_cold"]["cache_hit_rate"] = batched.statistics.cache_hit_rate
+
+    batched.reset_statistics()
+    cells["batched_warm"] = _measure(
+        lambda: batched.single_source_many(workload), num_queries
+    )
+    cells["batched_warm"]["cache_hit_rate"] = batched.statistics.cache_hit_rate
+
+    def qps(cell: str) -> float:
+        return cells[cell]["queries_per_second"]
+
+    return {
+        "benchmark": "engine_throughput",
+        "dataset": dataset,
+        "scale": scale,
+        "epsilon": epsilon,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "num_queries": num_queries,
+        "distinct_sources": min(distinct_sources, graph.num_nodes),
+        "cache_size": cache_size,
+        "seed": seed,
+        "cells": cells,
+        "speedups": {
+            "batched_warm_vs_single_cold": qps("batched_warm") / qps("single_cold"),
+            "batched_cold_vs_single_cold": qps("batched_cold") / qps("single_cold"),
+            "single_warm_vs_single_cold": qps("single_warm") / qps("single_cold"),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="GrQc", choices=datasets.dataset_names())
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--queries", type=int, default=60)
+    parser.add_argument("--distinct-sources", type=int, default=12)
+    parser.add_argument("--cache-size", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    payload = run_benchmark(
+        dataset=args.dataset,
+        scale=args.scale,
+        epsilon=args.epsilon,
+        num_queries=args.queries,
+        distinct_sources=args.distinct_sources,
+        cache_size=args.cache_size,
+        seed=args.seed,
+    )
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

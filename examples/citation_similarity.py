@@ -25,8 +25,8 @@ import argparse
 import numpy as np
 
 from repro.baselines import PowerMethod
+from repro.engine import BackendConfig, create_engine
 from repro.graphs import generators
-from repro.sling import SlingIndex
 
 
 def parse_args() -> argparse.Namespace:
@@ -66,12 +66,16 @@ def main() -> None:
     query = args.query % graph.num_nodes
     print(f"  query paper: {query} (cited {graph.in_degree(query)} times)")
 
-    print(f"Building the SLING index (epsilon = {args.epsilon}) ...")
-    index = SlingIndex(graph, epsilon=args.epsilon, seed=args.seed).build()
-    print(f"  {index.build_statistics.summary()}")
+    print(f"Building the query engine (epsilon = {args.epsilon}) ...")
+    engine = create_engine(
+        graph,
+        backend="sling",
+        config=BackendConfig(epsilon=args.epsilon, seed=args.seed),
+    )
+    print(f"  {engine.backend.index.build_statistics.summary()}")
 
     print(f"Top-{args.top} related papers according to SLING:")
-    sling_ranking = index.top_k(query, args.top)
+    sling_ranking = engine.top_k(query, args.top)
     for rank, (paper, score) in enumerate(sling_ranking, start=1):
         print(f"  #{rank:2d}: paper {paper:4d}  SimRank {score:.4f}")
 

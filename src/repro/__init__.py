@@ -13,7 +13,10 @@ The package is organised as:
   method, the Monte Carlo method of Fogaras & Rácz, and the linearization
   method of Maehara et al.;
 * :mod:`repro.evaluation` — metrics, workloads, and drivers that regenerate
-  every figure of the paper's Section 7 and Appendix C.
+  every figure of the paper's Section 7 and Appendix C;
+* :mod:`repro.engine` — the unified query layer: one backend protocol over
+  SLING and every baseline, batched execution with result caching, and a
+  planner that routes queries under a memory budget.
 
 Quickstart
 ----------
@@ -37,6 +40,13 @@ from .exceptions import (
 from .graphs import DiGraph
 from .sling import SlingIndex, SlingParameters
 from .baselines import LinearizeIndex, MonteCarloIndex, PowerMethod
+from .engine import (
+    BackendConfig,
+    QueryEngine,
+    SimilarityBackend,
+    create_backend,
+    create_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -55,4 +65,9 @@ __all__ = [
     "LinearizeIndex",
     "MonteCarloIndex",
     "PowerMethod",
+    "BackendConfig",
+    "QueryEngine",
+    "SimilarityBackend",
+    "create_backend",
+    "create_engine",
 ]

@@ -3,26 +3,32 @@
 The CLI wraps the experiment drivers so the paper's tables can be regenerated
 without writing Python::
 
-    python -m repro.cli table3
-    python -m repro.cli figure1 --datasets GrQc AS --queries 100
-    python -m repro.cli figure5 --datasets GrQc --runs 2
-    python -m repro.cli query --dataset GrQc --source 3 --top 10
+    repro table3
+    repro figure1 --datasets GrQc AS --queries 100
+    repro figure5 --datasets GrQc --runs 2
+    repro query --dataset GrQc --source 3 --top 10
+    repro query --dataset GrQc --source 3 --target 5 --json
 
-Every sub-command accepts ``--scale`` (stand-in graph size multiplier),
-``--epsilon`` and ``--seed``; results are printed as the same text tables the
-benchmark harness emits.
+(``python -m repro.cli`` works identically when the console script is not
+installed.)  Every sub-command accepts ``--scale`` (stand-in graph size
+multiplier), ``--epsilon`` and ``--seed``.  Ad-hoc queries run through the
+unified :class:`~repro.engine.QueryEngine`: ``--backend`` selects any
+registered backend (or ``auto`` to let the planner route from
+``--memory-budget-mb``), and ``--json`` switches to machine-readable output
+including the query plan and engine statistics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from .engine import BackendConfig, backend_names, create_engine
 from .evaluation import experiments, reporting
 from .evaluation.experiments import MethodConfig
 from .graphs import datasets
-from .sling import SlingIndex
 
 __all__ = ["main", "build_parser"]
 
@@ -70,6 +76,13 @@ def _add_method_option(parser: argparse.ArgumentParser) -> None:
         choices=["SLING", "Linearize", "MC", "MC-sqrtc"],
         help="methods to compare",
     )
+
+
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,6 +141,31 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--source", type=int, required=True, help="query node id")
     query.add_argument("--target", type=int, help="second node for a single-pair query")
     query.add_argument("--top", type=int, default=10, help="top-k size")
+    query.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", *backend_names()],
+        help="query backend; 'auto' lets the planner choose (default)",
+    )
+    query.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="memory budget steering the auto planner towards the "
+        "disk-backed index or a baseline",
+    )
+    query.add_argument(
+        "--cache-size",
+        type=_nonnegative_int,
+        default=128,
+        help="LRU capacity for single-source score vectors (0 disables)",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON (results, query plan, engine statistics)",
+    )
 
     return parser
 
@@ -213,20 +251,66 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "query":
-        graph = datasets.load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        index = SlingIndex(
-            graph, epsilon=args.epsilon, seed=args.seed
-        ).build()
-        source = args.source % graph.num_nodes
-        if args.target is not None:
-            target = args.target % graph.num_nodes
-            print(f"s({source}, {target}) = {index.single_pair(source, target):.6f}")
-        print(f"top-{args.top} nodes most similar to {source}:")
-        for rank, (node, score) in enumerate(index.top_k(source, args.top), start=1):
-            print(f"  #{rank:2d}  node {node:6d}  score {score:.6f}")
-        return 0
+        return _run_query(args)
 
     return 1  # pragma: no cover - unreachable with required=True
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    """The ``query`` sub-command: ad-hoc queries through the engine layer."""
+    graph = datasets.load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    budget = (
+        int(args.memory_budget_mb * 1024 * 1024)
+        if args.memory_budget_mb is not None
+        else None
+    )
+    engine = create_engine(
+        graph,
+        backend=args.backend,
+        memory_budget_bytes=budget,
+        config=BackendConfig(
+            epsilon=args.epsilon, seed=args.seed, mc_num_walks=args.mc_walks
+        ),
+        cache_size=args.cache_size,
+    )
+    source = args.source % graph.num_nodes
+    pair_score = None
+    target = None
+    if args.target is not None:
+        target = args.target % graph.num_nodes
+        pair_score = engine.single_pair(source, target)
+    ranked = engine.top_k(source, args.top)
+
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "source": source,
+            "plan": engine.plan.as_dict(),
+            "top_k": [
+                {"rank": rank, "node": node, "score": score}
+                for rank, (node, score) in enumerate(ranked, start=1)
+            ],
+            "statistics": engine.statistics.as_dict(),
+        }
+        if pair_score is not None:
+            payload["single_pair"] = {
+                "source": source,
+                "target": target,
+                "score": pair_score,
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"backend: {engine.plan.backend} ({engine.plan.reason})")
+    if pair_score is not None:
+        print(f"s({source}, {target}) = {pair_score:.6f}")
+    print(f"top-{args.top} nodes most similar to {source}:")
+    for rank, (node, score) in enumerate(ranked, start=1):
+        print(f"  #{rank:2d}  node {node:6d}  score {score:.6f}")
+    print(f"engine: {engine.statistics.summary()}")
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,64 @@
+"""Unified query-engine layer over SLING and every baseline method.
+
+This package puts one execution surface in front of all the ways the
+repository can answer a SimRank query:
+
+* :mod:`repro.engine.backends` — the :class:`SimilarityBackend` protocol, a
+  string-keyed registry, and adapter classes wrapping :class:`SlingIndex`,
+  :class:`DiskBackedIndex`, and the naive / power / Monte-Carlo / linearize
+  baselines;
+* :mod:`repro.engine.engine` — :class:`QueryEngine`, which executes single
+  and batched queries with an LRU cache of single-source score vectors and
+  per-query / aggregate statistics;
+* :mod:`repro.engine.planner` — a small router that picks the in-memory or
+  disk-backed SLING backend from a memory budget, falling back to a baseline
+  when no index can be built.
+
+The CLI, the experiment drivers, and the examples all dispatch queries
+through this layer; future sharding / async-serving work plugs in here.
+"""
+
+from .backends import (
+    BackendConfig,
+    BackendInfo,
+    DiskSlingBackend,
+    LinearizeBackend,
+    MonteCarloBackend,
+    NaiveBackend,
+    PowerBackend,
+    SimilarityBackend,
+    SlingBackend,
+    SqrtCMonteCarloBackend,
+    backend_names,
+    create_backend,
+    get_backend_class,
+    register_backend,
+    resolve_backend_name,
+)
+from .engine import EngineStatistics, QueryEngine, QueryRecord
+from .planner import QueryPlan, create_engine, estimate_sling_index_bytes, plan_backend
+
+__all__ = [
+    "BackendConfig",
+    "BackendInfo",
+    "SimilarityBackend",
+    "SlingBackend",
+    "DiskSlingBackend",
+    "NaiveBackend",
+    "PowerBackend",
+    "MonteCarloBackend",
+    "SqrtCMonteCarloBackend",
+    "LinearizeBackend",
+    "backend_names",
+    "create_backend",
+    "get_backend_class",
+    "register_backend",
+    "resolve_backend_name",
+    "QueryEngine",
+    "EngineStatistics",
+    "QueryRecord",
+    "QueryPlan",
+    "plan_backend",
+    "create_engine",
+    "estimate_sling_index_bytes",
+]

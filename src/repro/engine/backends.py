@@ -1,0 +1,567 @@
+"""Similarity backends: one protocol, many SimRank computation strategies.
+
+Every way this repository can answer a SimRank query — the SLING index
+(Algorithms 3/6), its disk-backed variant, and the four baselines — is
+wrapped in a :class:`SimilarityBackend` adapter exposing the same four
+operations (``build``, ``single_pair``, ``single_source``, ``top_k``) plus
+capability/cost flags (:class:`BackendInfo`) that the planner and the engine
+use to route queries.
+
+Backends are registered in a string-keyed registry; :func:`create_backend`
+instantiates one by name and :func:`resolve_backend_name` maps the paper's
+figure labels ("SLING", "MC", "MC-sqrtc", "Linearize", ...) onto registry
+keys so the evaluation drivers and the CLI can share one dispatch path.
+"""
+
+from __future__ import annotations
+
+import abc
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines import (
+    LinearizeIndex,
+    MonteCarloIndex,
+    PowerMethod,
+    SqrtCMonteCarloIndex,
+    iterations_for_error,
+    naive_simrank,
+)
+from ..exceptions import IndexNotBuiltError, ParameterError
+from ..graphs import DiGraph
+from ..ranking import rank_top_k
+from ..sling import DiskBackedIndex, SlingIndex, save_index
+
+__all__ = [
+    "BackendConfig",
+    "BackendInfo",
+    "SimilarityBackend",
+    "SlingBackend",
+    "DiskSlingBackend",
+    "NaiveBackend",
+    "PowerBackend",
+    "MonteCarloBackend",
+    "SqrtCMonteCarloBackend",
+    "LinearizeBackend",
+    "register_backend",
+    "backend_names",
+    "get_backend_class",
+    "create_backend",
+    "resolve_backend_name",
+]
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Construction knobs shared by every backend.
+
+    The engine layer sits below :mod:`repro.evaluation`, so this mirrors (but
+    does not import) ``MethodConfig``; the evaluation drivers translate one
+    into the other.
+    """
+
+    c: float = 0.6
+    epsilon: float = 0.025
+    seed: int = 0
+    mc_num_walks: int = 200
+    sling_reduce_space: bool = False
+    sling_enhance_accuracy: bool = False
+    #: Directory for disk-backed indexes; a temporary directory when ``None``.
+    work_directory: str | None = None
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Capability and cost flags describing a backend to the planner.
+
+    ``build_cost`` / ``query_cost`` are coarse order-of-magnitude labels
+    ("none", "walks", "index", "matrix"), not measurements — enough for
+    routing decisions, cheap enough to declare statically.
+    """
+
+    name: str
+    #: Whether answers carry an additive-error guarantee vs. being exact.
+    exact: bool = False
+    #: Whether the preprocessed structures stay in main memory.
+    in_memory: bool = True
+    #: Whether the backend is usable beyond toy graphs (naive/power are not).
+    scalable: bool = True
+    #: Coarse preprocessing cost class: "none" | "walks" | "index" | "matrix".
+    build_cost: str = "index"
+    #: Coarse per-query cost class: "constant" | "linear" | "matrix-row".
+    query_cost: str = "constant"
+
+
+class SimilarityBackend(abc.ABC):
+    """Uniform adapter over one SimRank computation strategy.
+
+    Subclasses declare their :class:`BackendInfo` as the class attribute
+    ``info`` and implement ``build`` / ``single_pair`` / ``single_source`` /
+    ``index_size_bytes``; ``top_k`` and ``all_pairs`` have generic
+    implementations on top of ``single_source``.
+    """
+
+    info: BackendInfo = BackendInfo(name="abstract")
+
+    def __init__(self, graph: DiGraph, config: BackendConfig | None = None) -> None:
+        if graph.num_nodes == 0:
+            raise ParameterError("cannot build a backend over an empty graph")
+        self._graph = graph
+        self._config = config or BackendConfig()
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> DiGraph:
+        """The graph this backend answers queries on."""
+        return self._graph
+
+    @property
+    def config(self) -> BackendConfig:
+        """The configuration the backend was created with."""
+        return self._config
+
+    @property
+    def name(self) -> str:
+        """Registry key of this backend."""
+        return self.info.name
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._built
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexNotBuiltError(f"{self.name} backend")
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def build(self) -> "SimilarityBackend":
+        """Run preprocessing; returns ``self`` so construction can chain."""
+
+    @abc.abstractmethod
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        """Approximate SimRank score of one node pair."""
+
+    @abc.abstractmethod
+    def single_source(self, node: int) -> np.ndarray:
+        """Approximate SimRank from ``node`` to every node, as ``(n,)``."""
+
+    @abc.abstractmethod
+    def index_size_bytes(self) -> int:
+        """Size of the preprocessed structures, in bytes."""
+
+    # ------------------------------------------------------------------ #
+    def top_k(self, node: int, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nodes most similar to ``node`` (excluding itself)."""
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        scores = np.array(self.single_source(node), dtype=np.float64, copy=True)
+        return rank_top_k(scores, int(node), k)
+
+    def all_pairs(self) -> np.ndarray:
+        """All-pairs scores via one single-source query per node."""
+        self._require_built()
+        n = self._graph.num_nodes
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for node in self._graph.nodes():
+            matrix[node] = self.single_source(node)
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "built" if self._built else "not built"
+        return f"{type(self).__name__}(n={self._graph.num_nodes}, {status})"
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, type[SimilarityBackend]] = {}
+
+#: Figure labels and common spellings accepted by :func:`resolve_backend_name`.
+_ALIASES: dict[str, str] = {
+    "sling": "sling",
+    "sling-disk": "sling-disk",
+    "disk": "sling-disk",
+    "disksling": "sling-disk",
+    "naive": "naive",
+    "power": "power",
+    "mc": "montecarlo",
+    "montecarlo": "montecarlo",
+    "monte-carlo": "montecarlo",
+    "mc-sqrtc": "montecarlo_sqrtc",
+    "montecarlo_sqrtc": "montecarlo_sqrtc",
+    "linearize": "linearize",
+}
+
+
+def register_backend(cls: type[SimilarityBackend]) -> type[SimilarityBackend]:
+    """Class decorator adding a backend to the registry under ``cls.info.name``."""
+    name = cls.info.name
+    if name in _REGISTRY:
+        raise ParameterError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def backend_names() -> list[str]:
+    """All registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_backend_name(label: str) -> str:
+    """Map a figure label or alias ("SLING", "MC-sqrtc", ...) to a registry key."""
+    key = _ALIASES.get(label.strip().lower())
+    if key is None or key not in _REGISTRY:
+        raise ParameterError(
+            f"unknown backend {label!r}; known backends: {', '.join(backend_names())}"
+        )
+    return key
+
+
+def get_backend_class(name: str) -> type[SimilarityBackend]:
+    """Look up a backend class by registry key or alias."""
+    return _REGISTRY[resolve_backend_name(name)]
+
+
+def create_backend(
+    name: str,
+    graph: DiGraph,
+    config: BackendConfig | None = None,
+    *,
+    build: bool = True,
+) -> SimilarityBackend:
+    """Instantiate (and by default build) a backend by registry name or alias."""
+    backend = get_backend_class(name)(graph, config)
+    if build:
+        backend.build()
+    return backend
+
+
+# --------------------------------------------------------------------------- #
+# SLING adapters
+# --------------------------------------------------------------------------- #
+@register_backend
+class SlingBackend(SimilarityBackend):
+    """In-memory :class:`SlingIndex` behind the backend protocol."""
+
+    info = BackendInfo(
+        name="sling",
+        exact=False,
+        in_memory=True,
+        scalable=True,
+        build_cost="index",
+        query_cost="constant",
+    )
+
+    def __init__(self, graph: DiGraph, config: BackendConfig | None = None) -> None:
+        super().__init__(graph, config)
+        cfg = self._config
+        self._index = SlingIndex(
+            graph,
+            c=cfg.c,
+            epsilon=cfg.epsilon,
+            seed=cfg.seed,
+            reduce_space=cfg.sling_reduce_space,
+            enhance_accuracy=cfg.sling_enhance_accuracy,
+        )
+
+    @property
+    def index(self) -> SlingIndex:
+        """The wrapped SLING index (build statistics, parameters, ...)."""
+        return self._index
+
+    def build(self) -> "SlingBackend":
+        self._index.build()
+        self._built = True
+        return self
+
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        self._require_built()
+        return self._index.single_pair(node_u, node_v)
+
+    def single_source(self, node: int, *, method: str = "local_push") -> np.ndarray:
+        self._require_built()
+        return self._index.single_source(node, method=method)
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        return self._index.index_size_bytes()
+
+    def average_set_size(self) -> float:
+        """Average stored hitting probabilities per node (Table-1 accounting)."""
+        self._require_built()
+        return self._index.average_set_size()
+
+
+@register_backend
+class DiskSlingBackend(SimilarityBackend):
+    """SLING with hitting sets on disk: build, persist, then query via
+    :class:`DiskBackedIndex` so only the correction factors stay resident."""
+
+    info = BackendInfo(
+        name="sling-disk",
+        exact=False,
+        in_memory=False,
+        scalable=True,
+        build_cost="index",
+        query_cost="constant",
+    )
+
+    def __init__(self, graph: DiGraph, config: BackendConfig | None = None) -> None:
+        super().__init__(graph, config)
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        self._directory: Path | None = None
+        self._disk_index: DiskBackedIndex | None = None
+        self._total_index_bytes = 0
+
+    @property
+    def directory(self) -> Path:
+        """Where the packed index lives on disk."""
+        self._require_built()
+        assert self._directory is not None
+        return self._directory
+
+    @property
+    def disk_index(self) -> DiskBackedIndex:
+        """The wrapped disk-backed reader (I/O accounting, parameters)."""
+        self._require_built()
+        assert self._disk_index is not None
+        return self._disk_index
+
+    def build(self) -> "DiskSlingBackend":
+        cfg = self._config
+        if cfg.work_directory is not None:
+            directory = Path(cfg.work_directory)
+        else:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-sling-disk-")
+            directory = Path(self._tempdir.name)
+        index = SlingIndex(
+            self._graph, c=cfg.c, epsilon=cfg.epsilon, seed=cfg.seed
+        ).build()
+        save_index(index, directory)
+        self._total_index_bytes = index.index_size_bytes()
+        self._directory = directory
+        self._disk_index = DiskBackedIndex(directory, self._graph)
+        self._built = True
+        return self
+
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        self._require_built()
+        assert self._disk_index is not None
+        return self._disk_index.single_pair(node_u, node_v)
+
+    def single_source(self, node: int) -> np.ndarray:
+        self._require_built()
+        assert self._disk_index is not None
+        return self._disk_index.single_source(node)
+
+    def index_size_bytes(self) -> int:
+        """Total size of the packed index, like every other backend."""
+        self._require_built()
+        return self._total_index_bytes
+
+    def resident_bytes(self) -> int:
+        """Main-memory footprint: only the ``8n`` bytes of correction factors."""
+        self._require_built()
+        return 8 * self._graph.num_nodes
+
+
+# --------------------------------------------------------------------------- #
+# Baseline adapters
+# --------------------------------------------------------------------------- #
+@register_backend
+class NaiveBackend(SimilarityBackend):
+    """The textbook all-pairs fixed-point iteration (testing oracle).
+
+    ``build`` materialises the full score matrix, so this is only usable on
+    toy graphs — which is exactly its role as an independent oracle.
+    """
+
+    info = BackendInfo(
+        name="naive",
+        exact=True,
+        in_memory=True,
+        scalable=False,
+        build_cost="matrix",
+        query_cost="matrix-row",
+    )
+
+    def __init__(self, graph: DiGraph, config: BackendConfig | None = None) -> None:
+        super().__init__(graph, config)
+        self._matrix: np.ndarray | None = None
+
+    def build(self) -> "NaiveBackend":
+        cfg = self._config
+        scores = naive_simrank(self._graph, c=cfg.c, epsilon=cfg.epsilon)
+        n = self._graph.num_nodes
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for (node_u, node_v), value in scores.items():
+            matrix[node_u, node_v] = value
+        self._matrix = matrix
+        self._built = True
+        return self
+
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        self._require_built()
+        assert self._matrix is not None
+        return float(self._matrix[int(node_u), int(node_v)])
+
+    def single_source(self, node: int) -> np.ndarray:
+        self._require_built()
+        assert self._matrix is not None
+        return self._matrix[int(node)].copy()
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        assert self._matrix is not None
+        return int(self._matrix.nbytes)
+
+
+@register_backend
+class PowerBackend(SimilarityBackend):
+    """The power method (Section 3.1) behind the backend protocol."""
+
+    info = BackendInfo(
+        name="power",
+        exact=True,
+        in_memory=True,
+        scalable=False,
+        build_cost="matrix",
+        query_cost="matrix-row",
+    )
+
+    def __init__(self, graph: DiGraph, config: BackendConfig | None = None) -> None:
+        super().__init__(graph, config)
+        cfg = self._config
+        self._method = PowerMethod(graph, c=cfg.c, epsilon=cfg.epsilon)
+
+    @property
+    def method(self) -> PowerMethod:
+        """The wrapped power-method instance."""
+        return self._method
+
+    def build(self) -> "PowerBackend":
+        self._method.build()
+        self._built = True
+        return self
+
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        self._require_built()
+        return self._method.single_pair(node_u, node_v)
+
+    def single_source(self, node: int) -> np.ndarray:
+        self._require_built()
+        return self._method.single_source(node)
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        return self._method.index_size_bytes()
+
+
+class _MethodBackend(SimilarityBackend):
+    """Shared plumbing for adapters over a built :class:`SimRankMethod`."""
+
+    def __init__(self, graph: DiGraph, config: BackendConfig | None = None) -> None:
+        super().__init__(graph, config)
+        self._method = self._make_method()
+
+    def _make_method(self):
+        raise NotImplementedError
+
+    @property
+    def method(self):
+        """The wrapped :class:`SimRankMethod` instance."""
+        return self._method
+
+    def build(self) -> "_MethodBackend":
+        self._method.build()
+        self._built = True
+        return self
+
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        self._require_built()
+        return self._method.single_pair(node_u, node_v)
+
+    def single_source(self, node: int) -> np.ndarray:
+        self._require_built()
+        return self._method.single_source(node)
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        return self._method.index_size_bytes()
+
+
+@register_backend
+class MonteCarloBackend(_MethodBackend):
+    """The Fogaras & Rácz Monte-Carlo method (c-walks)."""
+
+    info = BackendInfo(
+        name="montecarlo",
+        exact=False,
+        in_memory=True,
+        scalable=True,
+        build_cost="walks",
+        query_cost="linear",
+    )
+
+    def _make_method(self) -> MonteCarloIndex:
+        cfg = self._config
+        return MonteCarloIndex(
+            self._graph,
+            c=cfg.c,
+            epsilon=cfg.epsilon,
+            num_walks=cfg.mc_num_walks,
+            seed=cfg.seed,
+        )
+
+
+@register_backend
+class SqrtCMonteCarloBackend(_MethodBackend):
+    """The √c-walk Monte-Carlo variant (Section 4.1)."""
+
+    info = BackendInfo(
+        name="montecarlo_sqrtc",
+        exact=False,
+        in_memory=True,
+        scalable=True,
+        build_cost="walks",
+        query_cost="linear",
+    )
+
+    def _make_method(self) -> SqrtCMonteCarloIndex:
+        cfg = self._config
+        return SqrtCMonteCarloIndex(
+            self._graph,
+            c=cfg.c,
+            epsilon=cfg.epsilon,
+            num_walks=cfg.mc_num_walks,
+            seed=cfg.seed,
+        )
+
+
+@register_backend
+class LinearizeBackend(_MethodBackend):
+    """The linearization method of Maehara et al."""
+
+    info = BackendInfo(
+        name="linearize",
+        exact=False,
+        in_memory=True,
+        scalable=True,
+        build_cost="index",
+        query_cost="linear",
+    )
+
+    def _make_method(self) -> LinearizeIndex:
+        cfg = self._config
+        return LinearizeIndex(self._graph, c=cfg.c, seed=cfg.seed)
+
+
+def naive_iteration_count(config: BackendConfig) -> int:
+    """Iterations :class:`NaiveBackend` will run for its configured accuracy."""
+    return iterations_for_error(config.c, config.epsilon)

@@ -1,0 +1,395 @@
+"""The query engine: single + batched execution, caching, statistics.
+
+:class:`QueryEngine` fronts one :class:`SimilarityBackend` and adds the three
+things no individual backend provides:
+
+* **batched execution** — ``single_pair_many`` / ``single_source_many`` /
+  ``top_k_many`` deduplicate work inside a batch (a single-source vector is
+  computed once per distinct source and reused for every query that needs
+  it), amortizing the per-query walker / local-push setup;
+* **an LRU cache** of single-source score vectors, so repeated and
+  overlapping workloads (top-k dashboards, all-pairs sweeps, skewed query
+  mixes) skip recomputation entirely;
+* **statistics** — per-query latency records plus aggregate counters
+  (queries by kind, cache hit rate, evictions, total time, backend used)
+  exposed as plain dictionaries for the CLI's ``--json`` mode.
+
+Derived queries route through the cache: ``top_k`` ranks a cached
+single-source vector, and a ``single_pair`` whose source vector is already
+cached is answered from it without touching the backend.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..ranking import rank_top_k
+from .backends import SimilarityBackend
+
+__all__ = ["QueryEngine", "EngineStatistics", "QueryRecord"]
+
+#: In a batch of pair queries, compute one single-source vector instead of
+#: repeated pair queries once a source occurs at least this many times.
+PAIR_AMORTIZE_THRESHOLD = 4
+
+#: How many per-query latency records to retain (aggregates are unbounded).
+MAX_QUERY_RECORDS = 1024
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Latency and provenance of one executed query."""
+
+    kind: str
+    backend: str
+    seconds: float
+    cache_hit: bool
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON output."""
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "seconds": self.seconds,
+            "cache_hit": self.cache_hit,
+        }
+
+
+@dataclass
+class EngineStatistics:
+    """Aggregate counters across the engine's lifetime (or since a reset)."""
+
+    backend: str = ""
+    single_pair_queries: int = 0
+    single_source_queries: int = 0
+    top_k_queries: int = 0
+    batch_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    total_seconds: float = 0.0
+    recent_queries: list[QueryRecord] = field(default_factory=list)
+
+    @property
+    def total_queries(self) -> int:
+        """All queries answered, regardless of kind."""
+        return (
+            self.single_pair_queries
+            + self.single_source_queries
+            + self.top_k_queries
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 when none were made)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON-serialisable) for reporting."""
+        return {
+            "backend": self.backend,
+            "total_queries": self.total_queries,
+            "single_pair_queries": self.single_pair_queries,
+            "single_source_queries": self.single_source_queries,
+            "top_k_queries": self.top_k_queries,
+            "batch_calls": self.batch_calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": self.cache_hit_rate,
+            "total_seconds": self.total_seconds,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.total_queries} queries via {self.backend or '?'} in "
+            f"{self.total_seconds:.3f}s "
+            f"({self.single_pair_queries} pair, "
+            f"{self.single_source_queries} source, "
+            f"{self.top_k_queries} top-k); "
+            f"cache hit rate {100.0 * self.cache_hit_rate:.1f}% "
+            f"({self.cache_hits} hits, {self.cache_misses} misses, "
+            f"{self.cache_evictions} evictions)"
+        )
+
+    def _record(self, record: QueryRecord) -> None:
+        self.total_seconds += record.seconds
+        self.recent_queries.append(record)
+        if len(self.recent_queries) > MAX_QUERY_RECORDS:
+            del self.recent_queries[: -MAX_QUERY_RECORDS]
+
+
+class QueryEngine:
+    """Execute SimRank queries — singly or in batches — over one backend.
+
+    Parameters
+    ----------
+    backend:
+        A built (or buildable) :class:`SimilarityBackend`.
+    cache_size:
+        Maximum number of single-source score vectors kept in the LRU cache;
+        ``0`` disables caching (the evaluation drivers use this so figure
+        timings measure the backend, not the cache).
+
+    Examples
+    --------
+    >>> from repro.graphs import generators
+    >>> from repro.engine import create_backend, QueryEngine
+    >>> graph = generators.two_level_community(2, 8, seed=1)
+    >>> engine = QueryEngine(create_backend("power", graph))
+    >>> scores = engine.single_source_many([0, 1, 0])
+    >>> engine.statistics.cache_hits
+    1
+    """
+
+    def __init__(
+        self,
+        backend: SimilarityBackend,
+        *,
+        cache_size: int = 128,
+        plan=None,
+    ) -> None:
+        if cache_size < 0:
+            raise ParameterError(f"cache_size must be >= 0, got {cache_size}")
+        if not backend.is_built:
+            backend.build()
+        self._backend = backend
+        self._cache_size = cache_size
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._stats = EngineStatistics(backend=backend.name)
+        #: The routing decision that produced this engine (set by
+        #: :func:`repro.engine.planner.create_engine`); ``None`` when the
+        #: backend was chosen by hand.
+        self.plan = plan
+
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> SimilarityBackend:
+        """The backend answering this engine's queries."""
+        return self._backend
+
+    @property
+    def cache_size(self) -> int:
+        """Capacity of the single-source LRU cache (0 = disabled)."""
+        return self._cache_size
+
+    @property
+    def statistics(self) -> EngineStatistics:
+        """Aggregate statistics since construction (or the last reset)."""
+        return self._stats
+
+    def reset_statistics(self) -> None:
+        """Zero every counter; the cache contents are kept."""
+        self._stats = EngineStatistics(backend=self._backend.name)
+
+    def clear_cache(self) -> None:
+        """Drop every cached single-source vector."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Cache plumbing
+    # ------------------------------------------------------------------ #
+    def _cache_lookup(self, node: int) -> np.ndarray | None:
+        if self._cache_size == 0:
+            return None
+        vector = self._cache.get(node)
+        if vector is not None:
+            self._cache.move_to_end(node)
+            self._stats.cache_hits += 1
+            return vector
+        self._stats.cache_misses += 1
+        return None
+
+    def _cache_store(self, node: int, vector: np.ndarray) -> None:
+        if self._cache_size == 0:
+            return
+        self._cache[node] = vector
+        self._cache.move_to_end(node)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+            self._stats.cache_evictions += 1
+
+    def cached_nodes(self) -> list[int]:
+        """Source nodes currently cached, oldest first."""
+        return list(self._cache)
+
+    def _source_vector(self, node: int) -> np.ndarray:
+        """The single-source vector for ``node``, via the cache.
+
+        Returns the cache-owned array; callers must copy before mutating.
+        """
+        node = int(node)
+        vector = self._cache_lookup(node)
+        if vector is None:
+            vector = np.asarray(self._backend.single_source(node), dtype=np.float64)
+            self._cache_store(node, vector)
+        return vector
+
+    # ------------------------------------------------------------------ #
+    # Single queries
+    # ------------------------------------------------------------------ #
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        """SimRank of one pair; answered from a cached source vector if present."""
+        start = time.perf_counter()
+        node_u, node_v = int(node_u), int(node_v)
+        cached = self._cache.get(node_u)
+        if cached is None and node_u != node_v:
+            cached = self._cache.get(node_v)
+            if cached is not None:
+                node_u, node_v = node_v, node_u
+        if cached is not None:
+            self._cache.move_to_end(node_u)
+            self._stats.cache_hits += 1
+            score = float(cached[node_v])
+        else:
+            if self._cache_size > 0:
+                self._stats.cache_misses += 1
+            score = float(self._backend.single_pair(node_u, node_v))
+        self._finish("single_pair", start, cache_hit=cached is not None)
+        return score
+
+    def single_source(self, node: int) -> np.ndarray:
+        """SimRank from ``node`` to every node; the result is caller-owned."""
+        start = time.perf_counter()
+        before = self._stats.cache_hits
+        vector = self._source_vector(node)
+        self._finish("single_source", start, cache_hit=self._stats.cache_hits > before)
+        return vector.copy()
+
+    def top_k(self, node: int, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nodes most similar to ``node``, ranked."""
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        start = time.perf_counter()
+        before = self._stats.cache_hits
+        vector = self._source_vector(node).copy()
+        ranked = rank_top_k(vector, int(node), k)
+        self._finish("top_k", start, cache_hit=self._stats.cache_hits > before)
+        return ranked
+
+    # ------------------------------------------------------------------ #
+    # Batched queries
+    # ------------------------------------------------------------------ #
+    def single_pair_many(
+        self,
+        pairs: Sequence[tuple[int, int]] | Iterable[tuple[int, int]],
+        *,
+        amortize: bool = True,
+    ) -> list[float]:
+        """Answer a batch of pair queries.
+
+        With ``amortize`` (the default), sources occurring at least
+        ``PAIR_AMORTIZE_THRESHOLD`` times in the batch are materialised as one
+        single-source vector and every pair sharing that source is read out
+        of it — one walker/push setup instead of many.  Pass ``False`` to
+        force one backend call per pair (the evaluation drivers do, so the
+        figure timings stay per-query).
+        """
+        pairs = [(int(u), int(v)) for u, v in pairs]
+        self._stats.batch_calls += 1
+        hot_sources: set[int] = set()
+        if amortize:
+            counts: dict[int, int] = {}
+            for node_u, _ in pairs:
+                counts[node_u] = counts.get(node_u, 0) + 1
+            hot_sources = {
+                node for node, count in counts.items()
+                if count >= PAIR_AMORTIZE_THRESHOLD
+            }
+        # With the cache disabled, hot-source vectors still must be computed
+        # only once per batch, or the amortization would invert into a
+        # per-pair single-source recomputation.
+        local: dict[int, np.ndarray] = {}
+        results: list[float] = []
+        for node_u, node_v in pairs:
+            if node_u in hot_sources:
+                start = time.perf_counter()
+                before = self._stats.cache_hits
+                if self._cache_size == 0:
+                    if node_u in local:
+                        self._stats.cache_hits += 1
+                        vector = local[node_u]
+                    else:
+                        self._stats.cache_misses += 1
+                        vector = np.asarray(
+                            self._backend.single_source(node_u), dtype=np.float64
+                        )
+                        local[node_u] = vector
+                else:
+                    vector = self._source_vector(node_u)
+                hit = self._stats.cache_hits > before
+                results.append(float(vector[node_v]))
+                self._finish("single_pair", start, cache_hit=hit)
+            else:
+                results.append(self.single_pair(node_u, node_v))
+        return results
+
+    def single_source_many(
+        self, nodes: Sequence[int] | Iterable[int]
+    ) -> list[np.ndarray]:
+        """Answer a batch of single-source queries, one computation per
+        distinct source; duplicates within the batch are served from cache
+        (or, with caching disabled, from a batch-local table)."""
+        nodes = [int(node) for node in nodes]
+        self._stats.batch_calls += 1
+        local: dict[int, np.ndarray] = {}
+        results: list[np.ndarray] = []
+        for node in nodes:
+            start = time.perf_counter()
+            before = self._stats.cache_hits
+            if self._cache_size == 0:
+                if node in local:
+                    self._stats.cache_hits += 1
+                    vector = local[node]
+                else:
+                    self._stats.cache_misses += 1
+                    vector = np.asarray(
+                        self._backend.single_source(node), dtype=np.float64
+                    )
+                    local[node] = vector
+            else:
+                vector = self._source_vector(node)
+            self._finish(
+                "single_source", start, cache_hit=self._stats.cache_hits > before
+            )
+            results.append(vector.copy())
+        return results
+
+    def top_k_many(
+        self, nodes: Sequence[int] | Iterable[int], k: int
+    ) -> list[list[tuple[int, float]]]:
+        """Answer a batch of top-k queries through the shared source cache."""
+        return [self.top_k(node, k) for node in nodes]
+
+    # ------------------------------------------------------------------ #
+    def _finish(self, kind: str, start: float, *, cache_hit: bool) -> None:
+        elapsed = time.perf_counter() - start
+        if kind == "single_pair":
+            self._stats.single_pair_queries += 1
+        elif kind == "single_source":
+            self._stats.single_source_queries += 1
+        else:
+            self._stats.top_k_queries += 1
+        self._stats._record(
+            QueryRecord(
+                kind=kind,
+                backend=self._backend.name,
+                seconds=elapsed,
+                cache_hit=cache_hit,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryEngine(backend={self._backend.name!r}, "
+            f"cache={len(self._cache)}/{self._cache_size}, "
+            f"queries={self._stats.total_queries})"
+        )

@@ -23,15 +23,15 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..baselines import (
-    LinearizeIndex,
-    MonteCarloIndex,
-    SimRankMethod,
-    SqrtCMonteCarloIndex,
+from ..engine import (
+    BackendConfig,
+    QueryEngine,
+    SimilarityBackend,
+    SlingBackend,
+    create_backend,
 )
-from ..exceptions import ParameterError
 from ..graphs import DiGraph, datasets
-from ..sling import SlingIndex, SlingParameters, build_with_thread_count, out_of_core_build
+from ..sling import SlingParameters, build_with_thread_count, out_of_core_build
 from .ground_truth import GroundTruthCache
 from .metrics import GroupedErrors, grouped_errors, max_error, top_k_precision
 from .timing import time_callable
@@ -84,47 +84,37 @@ class MethodConfig:
     sling_enhance_accuracy: bool = False
 
 
+def _backend_config(config: MethodConfig) -> BackendConfig:
+    """Translate the experiment-level knobs into engine-level ones."""
+    return BackendConfig(
+        c=config.c,
+        epsilon=config.epsilon,
+        seed=config.seed,
+        mc_num_walks=config.mc_num_walks,
+        sling_reduce_space=config.sling_reduce_space,
+        sling_enhance_accuracy=config.sling_enhance_accuracy,
+    )
+
+
 def build_method(
     name: str, graph: DiGraph, config: MethodConfig = MethodConfig()
-) -> SimRankMethod | SlingIndex:
+) -> SimilarityBackend:
     """Instantiate and build one method by its figure label.
 
-    Recognised names: ``"SLING"``, ``"Linearize"``, ``"MC"``, and
-    ``"MC-sqrtc"`` (the Section-4.1 √c-walk variant of the Monte Carlo
-    method, not part of the paper's figures but useful for ablations).
+    Dispatch goes through the :mod:`repro.engine` backend registry, so every
+    registered backend is reachable; the paper's figure labels (``"SLING"``,
+    ``"Linearize"``, ``"MC"``, ``"MC-sqrtc"``) are accepted as aliases.
+    Unknown names raise :class:`~repro.exceptions.ParameterError`.
     """
-    label = name.lower()
-    if label == "sling":
-        index = SlingIndex(
-            graph,
-            c=config.c,
-            epsilon=config.epsilon,
-            seed=config.seed,
-            reduce_space=config.sling_reduce_space,
-            enhance_accuracy=config.sling_enhance_accuracy,
-        )
-        return index.build()
-    if label == "linearize":
-        return LinearizeIndex(graph, c=config.c, seed=config.seed).build()
-    if label == "mc":
-        return MonteCarloIndex(
-            graph,
-            c=config.c,
-            epsilon=config.epsilon,
-            num_walks=config.mc_num_walks,
-            seed=config.seed,
-        ).build()
-    if label == "mc-sqrtc":
-        return SqrtCMonteCarloIndex(
-            graph,
-            c=config.c,
-            epsilon=config.epsilon,
-            num_walks=config.mc_num_walks,
-            seed=config.seed,
-        ).build()
-    raise ParameterError(
-        f"unknown method {name!r}; expected SLING, Linearize, MC or MC-sqrtc"
-    )
+    return create_backend(name, graph, _backend_config(config))
+
+
+def _query_engine(
+    name: str, graph: DiGraph, config: MethodConfig
+) -> QueryEngine:
+    """An engine over one backend with caching disabled, so the figure
+    timings measure the backend itself rather than the engine's cache."""
+    return QueryEngine(build_method(name, graph, config), cache_size=0)
 
 
 def _load(dataset: str, scale: float, seed: int) -> DiGraph:
@@ -158,10 +148,9 @@ def single_pair_experiment(
         graph = _load(dataset, scale, config.seed)
         pairs = random_pairs(graph, num_queries, seed=config.seed)
         for method_name in methods:
-            method = build_method(method_name, graph, config)
+            engine = _query_engine(method_name, graph, config)
             start = time.perf_counter()
-            for node_u, node_v in pairs:
-                method.single_pair(node_u, node_v)
+            engine.single_pair_many(pairs, amortize=False)
             elapsed = time.perf_counter() - start
             rows.append(
                 QueryCostRow(
@@ -194,19 +183,21 @@ def single_source_experiment(
     for dataset in dataset_names:
         graph = _load(dataset, scale, config.seed)
         sources = random_sources(graph, num_queries, seed=config.seed)
-        built: dict[str, SimRankMethod | SlingIndex] = {}
+        built: dict[str, QueryEngine] = {}
         for method_name in methods:
             base_name = "SLING" if method_name.startswith("SLING") else method_name
             if base_name not in built:
-                built[base_name] = build_method(base_name, graph, config)
-            method = built[base_name]
+                built[base_name] = _query_engine(base_name, graph, config)
+            engine = built[base_name]
             start = time.perf_counter()
-            for source in sources:
-                if method_name == "SLING (Alg. 3)":
-                    assert isinstance(method, SlingIndex)
-                    method.single_source(source, method="pairwise")
-                else:
-                    method.single_source(source)
+            if method_name == "SLING (Alg. 3)":
+                backend = engine.backend
+                assert isinstance(backend, SlingBackend)
+                for source in sources:
+                    backend.single_source(source, method="pairwise")
+            else:
+                for source in sources:
+                    engine.single_source(source)
             elapsed = time.perf_counter() - start
             rows.append(
                 QueryCostRow(
@@ -318,7 +309,7 @@ class TopKRow:
     precision: float
 
 
-def _all_pairs_matrix(method: SimRankMethod | SlingIndex) -> np.ndarray:
+def _all_pairs_matrix(method: SimilarityBackend) -> np.ndarray:
     return method.all_pairs()
 
 
@@ -528,19 +519,24 @@ def epsilon_scaling_experiment(
     pairs = random_pairs(graph, num_queries, seed=config.seed)
     rows: list[ScalingRow] = []
     for epsilon in epsilons:
-        index = SlingIndex(
-            graph, c=config.c, epsilon=epsilon, seed=config.seed
-        ).build()
+        scaled_config = MethodConfig(
+            c=config.c,
+            epsilon=epsilon,
+            seed=config.seed,
+            mc_num_walks=config.mc_num_walks,
+        )
+        engine = _query_engine("sling", graph, scaled_config)
+        backend = engine.backend
+        assert isinstance(backend, SlingBackend)
         start = time.perf_counter()
-        for node_u, node_v in pairs:
-            index.single_pair(node_u, node_v)
+        engine.single_pair_many(pairs, amortize=False)
         elapsed = time.perf_counter() - start
         rows.append(
             ScalingRow(
                 epsilon=epsilon,
                 average_query_milliseconds=1000.0 * elapsed / max(1, len(pairs)),
-                index_megabytes=index.index_size_bytes() / (1024.0 * 1024.0),
-                average_set_size=index.average_set_size(),
+                index_megabytes=backend.index_size_bytes() / (1024.0 * 1024.0),
+                average_set_size=backend.index.average_set_size(),
             )
         )
     return rows

@@ -1,0 +1,30 @@
+"""Shared top-k ranking over single-source SimRank score vectors.
+
+One implementation of the ranking contract — highest score first, ties broken
+on the smaller node id, the source itself excluded — used by both
+:meth:`repro.sling.SlingIndex.top_k` and the engine backends, so the two can
+never diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rank_top_k"]
+
+
+def rank_top_k(scores: np.ndarray, source: int, k: int) -> list[tuple[int, float]]:
+    """Rank a single-source score vector into a top-k list, excluding ``source``.
+
+    The caller must pass a vector it is willing to have mutated (the source
+    entry is masked in place).  ``k`` is clamped to ``n - 1``.
+    """
+    scores[source] = -np.inf
+    k = min(k, scores.shape[0] - 1)
+    if k <= 0:
+        return []
+    top_indices = np.argpartition(-scores, k - 1)[:k]
+    return sorted(
+        ((int(i), float(scores[i])) for i in top_indices),
+        key=lambda item: (-item[1], item[0]),
+    )

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..exceptions import IndexNotBuiltError, ParameterError
 from ..graphs import DiGraph
+from ..ranking import rank_top_k
 from .correction import estimate_all_correction_factors
 from .hitting import HittingProbabilitySet, build_hitting_sets
 from .optimizations import AccuracyEnhancer, SpaceReduction
@@ -379,18 +380,8 @@ class SlingIndex:
         """The ``k`` nodes most similar to ``node`` (excluding ``node`` itself)."""
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
-        scores = self.single_source(node, method=method)
-        scores = scores.copy()
-        scores[int(node)] = -np.inf
-        k = min(k, self._graph.num_nodes - 1)
-        if k <= 0:
-            return []
-        top_indices = np.argpartition(-scores, k - 1)[:k]
-        ranked = sorted(
-            ((int(i), float(scores[i])) for i in top_indices),
-            key=lambda item: (-item[1], item[0]),
-        )
-        return ranked
+        scores = self.single_source(node, method=method).copy()
+        return rank_top_k(scores, int(node), k)
 
     def all_pairs(self, *, method: str = "local_push") -> np.ndarray:
         """All-pairs SimRank matrix computed one single-source query per node.

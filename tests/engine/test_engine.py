@@ -1,0 +1,220 @@
+"""Cache-behaviour and batching tests for :class:`QueryEngine`.
+
+A counting stub backend makes backend-call amortization observable: the
+cache and batching guarantees are asserted as exact hit/miss/eviction and
+call counts, not timings.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import BackendConfig, BackendInfo, QueryEngine, SimilarityBackend
+from repro.engine.engine import PAIR_AMORTIZE_THRESHOLD
+from repro.exceptions import ParameterError
+from repro.graphs import generators
+
+
+class CountingBackend(SimilarityBackend):
+    """Deterministic stub: s(u, v) = 1/(1+|u-v|), with call counters.
+
+    Deliberately NOT registered — it exists only to observe how often the
+    engine reaches the backend.
+    """
+
+    info = BackendInfo(name="counting", exact=True, build_cost="none")
+
+    def __init__(self, graph, config=None):
+        super().__init__(graph, config)
+        self.pair_calls = 0
+        self.source_calls = 0
+
+    def build(self):
+        self._built = True
+        return self
+
+    def single_pair(self, node_u, node_v):
+        self.pair_calls += 1
+        return 1.0 / (1.0 + abs(int(node_u) - int(node_v)))
+
+    def single_source(self, node):
+        self.source_calls += 1
+        n = self._graph.num_nodes
+        return np.array(
+            [1.0 / (1.0 + abs(int(node) - other)) for other in range(n)]
+        )
+
+    def index_size_bytes(self):
+        return 8
+
+
+@pytest.fixture()
+def graph():
+    return generators.cycle(12)
+
+
+@pytest.fixture()
+def engine(graph):
+    return QueryEngine(CountingBackend(graph), cache_size=4)
+
+
+class TestCacheBehaviour:
+    def test_single_source_miss_then_hit(self, engine):
+        first = engine.single_source(3)
+        second = engine.single_source(3)
+        np.testing.assert_allclose(first, second)
+        assert engine.backend.source_calls == 1
+        assert engine.statistics.cache_misses == 1
+        assert engine.statistics.cache_hits == 1
+        assert engine.statistics.cache_hit_rate == 0.5
+
+    def test_results_are_caller_owned_copies(self, engine):
+        first = engine.single_source(3)
+        first[:] = -1.0
+        second = engine.single_source(3)
+        assert float(second[3]) == 1.0
+
+    def test_eviction_is_lru(self, engine):
+        for node in (0, 1, 2, 3):
+            engine.single_source(node)
+        engine.single_source(0)  # refresh node 0
+        engine.single_source(4)  # evicts node 1, the least recently used
+        assert engine.statistics.cache_evictions == 1
+        assert engine.cached_nodes() == [2, 3, 0, 4]
+        engine.single_source(1)  # gone: must recompute
+        assert engine.backend.source_calls == 6
+
+    def test_top_k_routes_through_cache(self, engine):
+        engine.single_source(5)
+        ranked = engine.top_k(5, 3)
+        assert engine.backend.source_calls == 1
+        assert len(ranked) == 3
+        assert 5 not in {node for node, _ in ranked}
+        # Nearest neighbours of 5 under the stub metric, id tie-break.
+        assert [node for node, _ in ranked] == [4, 6, 3]
+
+    def test_single_pair_served_from_cached_vector(self, engine):
+        engine.single_source(2)
+        score = engine.single_pair(2, 7)
+        assert score == pytest.approx(1.0 / 6.0)
+        assert engine.backend.pair_calls == 0
+        score = engine.single_pair(7, 2)  # symmetric lookup also hits
+        assert engine.backend.pair_calls == 0
+        assert engine.statistics.cache_hits == 2
+
+    def test_clear_cache(self, engine):
+        engine.single_source(1)
+        engine.clear_cache()
+        engine.single_source(1)
+        assert engine.backend.source_calls == 2
+
+    def test_zero_cache_disables_caching(self, graph):
+        engine = QueryEngine(CountingBackend(graph), cache_size=0)
+        engine.single_source(1)
+        engine.single_source(1)
+        assert engine.backend.source_calls == 2
+        assert engine.statistics.cache_hits == 0
+
+    def test_negative_cache_size_rejected(self, graph):
+        with pytest.raises(ParameterError):
+            QueryEngine(CountingBackend(graph), cache_size=-1)
+
+
+class TestBatchedExecution:
+    def test_single_source_many_computes_each_distinct_source_once(self, engine):
+        results = engine.single_source_many([0, 1, 0, 1, 0])
+        assert len(results) == 5
+        assert engine.backend.source_calls == 2
+        assert engine.statistics.cache_hits == 3
+        assert engine.statistics.batch_calls == 1
+
+    def test_single_source_many_dedupes_even_without_cache(self, graph):
+        engine = QueryEngine(CountingBackend(graph), cache_size=0)
+        engine.single_source_many([4, 4, 4])
+        assert engine.backend.source_calls == 1
+
+    def test_single_pair_many_amortizes_hot_sources(self, engine):
+        pairs = [(0, v) for v in range(PAIR_AMORTIZE_THRESHOLD)]
+        scores = engine.single_pair_many(pairs)
+        assert scores == [1.0 / (1.0 + v) for v in range(PAIR_AMORTIZE_THRESHOLD)]
+        # One single-source computation instead of four pair calls.
+        assert engine.backend.source_calls == 1
+        assert engine.backend.pair_calls == 0
+
+    def test_single_pair_many_cold_sources_stay_pairwise(self, engine):
+        scores = engine.single_pair_many([(0, 1), (2, 3), (4, 5)])
+        assert engine.backend.pair_calls == 3
+        assert engine.backend.source_calls == 0
+        assert scores == [0.5, 0.5, 0.5]
+
+    def test_single_pair_many_amortizes_even_without_cache(self, graph):
+        engine = QueryEngine(CountingBackend(graph), cache_size=0)
+        pairs = [(0, v) for v in range(PAIR_AMORTIZE_THRESHOLD + 2)]
+        engine.single_pair_many(pairs)
+        # The hot-source vector must be computed once per batch, not per pair.
+        assert engine.backend.source_calls == 1
+        assert engine.backend.pair_calls == 0
+
+    def test_single_pair_many_amortize_false_forces_pairwise(self, engine):
+        pairs = [(0, v) for v in range(PAIR_AMORTIZE_THRESHOLD + 2)]
+        engine.single_pair_many(pairs, amortize=False)
+        assert engine.backend.pair_calls == len(pairs)
+        assert engine.backend.source_calls == 0
+
+    def test_top_k_many_shares_cached_vectors(self, engine):
+        engine.top_k_many([1, 2, 1, 2], k=3)
+        assert engine.backend.source_calls == 2
+        assert engine.statistics.top_k_queries == 4
+
+
+class TestStatistics:
+    def test_counters_by_kind(self, engine):
+        engine.single_pair(0, 1)
+        engine.single_source(0)
+        engine.top_k(0, 2)
+        stats = engine.statistics
+        assert stats.single_pair_queries == 1
+        assert stats.single_source_queries == 1
+        assert stats.top_k_queries == 1
+        assert stats.total_queries == 3
+        assert stats.total_seconds > 0.0
+        assert stats.backend == "counting"
+
+    def test_as_dict_is_json_serialisable(self, engine):
+        engine.single_source(0)
+        payload = json.loads(json.dumps(engine.statistics.as_dict()))
+        assert payload["total_queries"] == 1
+        assert payload["backend"] == "counting"
+        assert 0.0 <= payload["cache_hit_rate"] <= 1.0
+
+    def test_recent_queries_record_latency_and_provenance(self, engine):
+        engine.single_source(0)
+        engine.single_source(0)
+        records = engine.statistics.recent_queries
+        assert [r.cache_hit for r in records] == [False, True]
+        assert all(r.backend == "counting" for r in records)
+        assert all(r.seconds >= 0.0 for r in records)
+
+    def test_reset_statistics_keeps_cache(self, engine):
+        engine.single_source(0)
+        engine.reset_statistics()
+        assert engine.statistics.total_queries == 0
+        engine.single_source(0)
+        assert engine.backend.source_calls == 1  # still cached
+
+    def test_summary_mentions_backend_and_hit_rate(self, engine):
+        engine.single_source(0)
+        summary = engine.statistics.summary()
+        assert "counting" in summary
+        assert "cache hit rate" in summary
+
+
+class TestEngineBuildsBackendIfNeeded:
+    def test_unbuilt_backend_is_built_on_construction(self, graph):
+        backend = CountingBackend(graph)
+        assert not backend.is_built
+        engine = QueryEngine(backend)
+        assert engine.backend.is_built

@@ -1,0 +1,53 @@
+"""The engine-throughput benchmark must honour its acceptance contract:
+batched single-source queries on a warm cache are at least 2x the throughput
+of uncached one-at-a-time queries, and the payload is valid JSON."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        import bench_engine_throughput
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    return bench_engine_throughput
+
+
+@pytest.fixture(scope="module")
+def payload(bench_module):
+    return bench_module.run_benchmark(
+        dataset="GrQc", scale=0.05, epsilon=0.1, num_queries=30,
+        distinct_sources=8, cache_size=32, seed=0,
+    )
+
+
+class TestEngineThroughputBenchmark:
+    def test_batched_warm_is_at_least_twice_single_cold(self, payload):
+        assert payload["speedups"]["batched_warm_vs_single_cold"] >= 2.0
+
+    def test_warm_cells_are_fully_cache_resident(self, payload):
+        assert payload["cells"]["single_warm"]["cache_hit_rate"] == 1.0
+        assert payload["cells"]["batched_warm"]["cache_hit_rate"] == 1.0
+
+    def test_payload_is_json_serialisable(self, payload):
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["benchmark"] == "engine_throughput"
+        assert set(decoded["cells"]) == {
+            "single_cold", "single_warm", "batched_cold", "batched_warm",
+        }
+
+    def test_workload_is_deterministic_and_skewed(self, bench_module):
+        first = bench_module.build_workload(100, 50, 10, seed=3)
+        second = bench_module.build_workload(100, 50, 10, seed=3)
+        assert first == second
+        assert len(set(first)) <= 10

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -79,6 +81,60 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "s(3, 5)" in output
         assert "top-4" in output
+
+    def test_query_reports_engine_backend_and_statistics(self, capsys):
+        exit_code = main(["query", *FAST, "--dataset", "GrQc", "--source", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "backend: sling" in output
+        assert "engine:" in output
+
+    def test_query_json_output(self, capsys):
+        exit_code = main(
+            [
+                "query", *FAST, "--dataset", "GrQc",
+                "--source", "3", "--target", "5", "--top", "4", "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"] == "GrQc"
+        assert payload["plan"]["backend"] == "sling"
+        assert payload["single_pair"]["source"] == 3
+        assert 0.0 <= payload["single_pair"]["score"] <= 1.0
+        assert len(payload["top_k"]) == 4
+        assert payload["top_k"][0]["rank"] == 1
+        assert payload["statistics"]["total_queries"] == 2
+
+    def test_query_with_explicit_backend(self, capsys):
+        exit_code = main(
+            [
+                "query", *FAST, "--dataset", "GrQc",
+                "--source", "3", "--top", "2", "--backend", "power", "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["backend"] == "power"
+        assert payload["statistics"]["backend"] == "power"
+
+    def test_query_memory_budget_routes_to_disk_backend(self, capsys):
+        exit_code = main(
+            [
+                "query", *FAST, "--dataset", "GrQc",
+                "--source", "3", "--top", "2",
+                "--memory-budget-mb", "0.01", "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["backend"] == "sling-disk"
+
+    def test_query_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--source", "1", "--backend", "FooBar"]
+            )
 
     def test_query_supports_mc_sqrtc_method_in_figures(self, capsys):
         exit_code = main(
