@@ -10,7 +10,6 @@ design decisions so its effect can be verified independently:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.evaluation import ablations
 

@@ -25,8 +25,11 @@ import argparse
 import numpy as np
 
 from repro.baselines import PowerMethod
-from repro.engine import BackendConfig, create_engine
+from repro.engine import BackendConfig
 from repro.graphs import generators
+from repro.service import ServiceConfig, SimRankService, TopKQuery
+
+DATASET = "citations"
 
 
 def parse_args() -> argparse.Namespace:
@@ -66,18 +69,25 @@ def main() -> None:
     query = args.query % graph.num_nodes
     print(f"  query paper: {query} (cited {graph.in_degree(query)} times)")
 
-    print(f"Building the query engine (epsilon = {args.epsilon}) ...")
-    engine = create_engine(
-        graph,
-        backend="sling",
-        config=BackendConfig(epsilon=args.epsilon, seed=args.seed),
+    print(f"Opening a service session over the network (epsilon = {args.epsilon}) ...")
+    service = SimRankService(
+        ServiceConfig(
+            backend="sling",
+            backend_config=BackendConfig(epsilon=args.epsilon, seed=args.seed),
+        )
     )
-    print(f"  {engine.backend.index.build_statistics.summary()}")
+    session = service.open_dataset(DATASET, graph=graph)
+    print(f"  {session.engine().backend.index.build_statistics.summary()}")
 
     print(f"Top-{args.top} related papers according to SLING:")
-    sling_ranking = engine.top_k(query, args.top)
-    for rank, (paper, score) in enumerate(sling_ranking, start=1):
-        print(f"  #{rank:2d}: paper {paper:4d}  SimRank {score:.4f}")
+    result = service.execute(TopKQuery(DATASET, node=query, k=args.top))
+    if not result.ok:
+        raise SystemExit(f"query failed: {result.error}")
+    print(f"  (answered by {result.backend!r} in {1000 * result.seconds:.2f} ms)")
+    for entry in result.value:
+        print(f"  #{entry['rank']:2d}: paper {entry['node']:4d}  "
+              f"SimRank {entry['score']:.4f}")
+    sling_ranking = [(entry["node"], entry["score"]) for entry in result.value]
 
     print("Cross-checking against the exact power-method ranking ...")
     truth = PowerMethod(graph, num_iterations=30).build().single_source(query)

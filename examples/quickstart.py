@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Quickstart: answer SimRank queries through the unified query engine.
+"""Quickstart: answer SimRank queries through the service API.
 
-The script builds a small planted-community graph, lets the engine planner
-pick a backend (the SLING index, with the paper's default decay factor), and
-walks through the three query primitives: single-pair, single-source, and
-top-k — plus the engine's batched all-pairs sweep.  It finishes by checking
-the answers against the exact power-method scores so you can see the ε
-guarantee in action.
+The script builds a small planted-community graph, registers it as a named
+dataset session on a :class:`~repro.service.SimRankService` (the planner picks
+a backend — the SLING index, with the paper's default decay factor), and walks
+through the typed query kinds: single-pair, single-source, and top-k — plus
+the all-pairs sweep.  Every answer arrives as a :class:`QueryResult` envelope
+carrying the value, the chosen backend, and the observed latency.  It finishes
+by checking the answers against the exact power-method scores so you can see
+the ε guarantee in action.
 
 Run with:
 
@@ -20,8 +22,28 @@ import argparse
 import numpy as np
 
 from repro.baselines import PowerMethod
-from repro.engine import BackendConfig, create_engine
+from repro.engine import BackendConfig
 from repro.graphs import generators
+from repro.service import (
+    AllPairsQuery,
+    ServiceConfig,
+    SimRankService,
+    SinglePairQuery,
+    SingleSourceQuery,
+    TopKQuery,
+)
+
+DATASET = "quickstart"
+
+
+def run(service: SimRankService, query):
+    """Execute one query, surfacing a structured error envelope if it fails."""
+    result = service.execute(query)
+    if not result.ok:
+        raise SystemExit(
+            f"query failed [{result.error.code}]: {result.error.message}"
+        )
+    return result
 
 
 def parse_args() -> argparse.Namespace:
@@ -42,34 +64,41 @@ def main() -> None:
     )
     print(f"   {graph!r}")
 
-    print(f"2. Creating a query engine (epsilon = {args.epsilon}) ...")
-    engine = create_engine(
-        graph, config=BackendConfig(epsilon=args.epsilon, seed=args.seed)
+    print(f"2. Opening a dataset session on the service (epsilon = {args.epsilon}) ...")
+    service = SimRankService(
+        ServiceConfig(
+            backend_config=BackendConfig(epsilon=args.epsilon, seed=args.seed)
+        )
     )
+    session = service.open_dataset(DATASET, graph=graph)
+    engine = session.engine()  # builds via the planner
     print(f"   planner chose backend {engine.plan.backend!r}: {engine.plan.reason}")
     print(f"   {engine.backend.index.build_statistics.summary()}")
     print(f"   index size: {engine.backend.index_size_bytes() / 1024:.1f} KiB")
 
     print("3. Single-pair queries (same community vs. different community):")
-    same_community = engine.single_pair(0, 1)
-    cross_community = engine.single_pair(0, args.nodes_per_community + 1)
-    print(f"   s(0, 1)                      = {same_community:.4f}")
-    print(f"   s(0, {args.nodes_per_community + 1})                     = {cross_community:.4f}")
+    same = run(service, SinglePairQuery(DATASET, 0, 1))
+    cross = run(service, SinglePairQuery(DATASET, 0, args.nodes_per_community + 1))
+    print(f"   s(0, 1)                      = {same.value:.4f}")
+    print(f"   s(0, {args.nodes_per_community + 1})                     = {cross.value:.4f}")
+    print(f"   (each answered by {same.backend!r} in {1000 * same.seconds:.2f} ms)")
 
     print("4. Single-source query from node 0 (Algorithm 6):")
-    scores = engine.single_source(0)
+    scores = np.asarray(run(service, SingleSourceQuery(DATASET, 0)).value)
     print(f"   mean similarity inside community 0:  "
           f"{scores[1:args.nodes_per_community].mean():.4f}")
     print(f"   mean similarity outside community 0: "
           f"{scores[args.nodes_per_community:].mean():.4f}")
 
     print("5. Top-5 most similar nodes to node 0:")
-    for rank, (node, score) in enumerate(engine.top_k(0, 5), start=1):
-        print(f"   #{rank}: node {node:3d}  score {score:.4f}")
+    top = run(service, TopKQuery(DATASET, node=0, k=5))
+    for entry in top.value:
+        print(f"   #{entry['rank']}: node {entry['node']:3d}  score {entry['score']:.4f}")
+    print(f"   (cache hit: {top.cache_hit} — the single-source vector was reused)")
 
     print("6. Verifying the accuracy guarantee against the power method ...")
     truth = PowerMethod(graph, num_iterations=40).build().all_pairs()
-    estimated = np.vstack(engine.single_source_many(graph.nodes()))
+    estimated = np.asarray(run(service, AllPairsQuery(DATASET)).value)
     observed_error = float(np.abs(estimated - truth).max())
     print(f"   maximum observed error: {observed_error:.5f} "
           f"(guaranteed bound: {args.epsilon})")
@@ -77,6 +106,7 @@ def main() -> None:
         raise SystemExit("accuracy guarantee violated — this should not happen")
     print("   the guarantee holds.")
     print(f"   engine statistics: {engine.statistics.summary()}")
+    print(f"   open sessions: {service.list_datasets()}")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,11 @@ The package is organised as:
   every figure of the paper's Section 7 and Appendix C;
 * :mod:`repro.engine` — the unified query layer: one backend protocol over
   SLING and every baseline, batched execution with result caching, and a
-  planner that routes queries under a memory budget.
+  planner that routes queries under a memory budget;
+* :mod:`repro.service` — the serving boundary: typed request dataclasses and
+  :class:`QueryResult` envelopes over named dataset sessions
+  (:class:`SimRankService`), plus the JSONL wire protocol behind
+  ``repro batch``.
 
 Quickstart
 ----------
@@ -47,6 +51,15 @@ from .engine import (
     create_backend,
     create_engine,
 )
+from .service import (
+    AllPairsQuery,
+    QueryResult,
+    ServiceConfig,
+    SimRankService,
+    SinglePairQuery,
+    SingleSourceQuery,
+    TopKQuery,
+)
 
 __version__ = "1.0.0"
 
@@ -70,4 +83,11 @@ __all__ = [
     "SimilarityBackend",
     "create_backend",
     "create_engine",
+    "SimRankService",
+    "ServiceConfig",
+    "QueryResult",
+    "SinglePairQuery",
+    "SingleSourceQuery",
+    "TopKQuery",
+    "AllPairsQuery",
 ]

@@ -8,14 +8,22 @@ without writing Python::
     repro figure5 --datasets GrQc --runs 2
     repro query --dataset GrQc --source 3 --top 10
     repro query --dataset GrQc --source 3 --target 5 --json
+    repro batch --input requests.jsonl
+    printf '{"kind":"top_k","dataset":"GrQc","node":3,"k":5}\\n' | repro batch
 
 (``python -m repro.cli`` works identically when the console script is not
 installed.)  Every sub-command accepts ``--scale`` (stand-in graph size
-multiplier), ``--epsilon`` and ``--seed``.  Ad-hoc queries run through the
-unified :class:`~repro.engine.QueryEngine`: ``--backend`` selects any
+multiplier), ``--epsilon`` and ``--seed``.
+
+Queries go through the :class:`~repro.service.SimRankService` layer:
+``query`` answers one ad-hoc request, ``batch`` streams JSONL request lines
+(from stdin or ``--input``) through the service and emits one JSONL
+:class:`~repro.service.QueryResult` envelope per line — malformed or
+unanswerable requests become error envelopes, never tracebacks, and the exit
+status is non-zero when any line failed.  ``--backend`` selects any
 registered backend (or ``auto`` to let the planner route from
-``--memory-budget-mb``), and ``--json`` switches to machine-readable output
-including the query plan and engine statistics.
+``--memory-budget-mb``), and ``--json`` switches ``query`` to
+machine-readable output including the query plan and engine statistics.
 """
 
 from __future__ import annotations
@@ -23,12 +31,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Sequence, TextIO
 
-from .engine import BackendConfig, backend_names, create_engine
+from .engine import BackendConfig, backend_names
 from .evaluation import experiments, reporting
 from .evaluation.experiments import MethodConfig
 from .graphs import datasets
+from .service import (
+    ERROR_BAD_REQUEST,
+    QueryResult,
+    ServiceConfig,
+    SimRankService,
+    SinglePairQuery,
+    TopKQuery,
+    encode_result,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -83,6 +100,30 @@ def _nonnegative_int(value: str) -> int:
     if parsed < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
     return parsed
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the service-backed sub-commands (query, batch)."""
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", *backend_names()],
+        help="query backend; 'auto' lets the planner choose (default)",
+    )
+    parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="memory budget steering the auto planner towards the "
+        "disk-backed index or a baseline",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=_nonnegative_int,
+        default=128,
+        help="LRU capacity for single-source score vectors (0 disables)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,30 +182,35 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--source", type=int, required=True, help="query node id")
     query.add_argument("--target", type=int, help="second node for a single-pair query")
     query.add_argument("--top", type=int, default=10, help="top-k size")
-    query.add_argument(
-        "--backend",
-        default="auto",
-        choices=["auto", *backend_names()],
-        help="query backend; 'auto' lets the planner choose (default)",
-    )
-    query.add_argument(
-        "--memory-budget-mb",
-        type=float,
-        default=None,
-        metavar="MB",
-        help="memory budget steering the auto planner towards the "
-        "disk-backed index or a baseline",
-    )
-    query.add_argument(
-        "--cache-size",
-        type=_nonnegative_int,
-        default=128,
-        help="LRU capacity for single-source score vectors (0 disables)",
-    )
+    _add_service_options(query)
     query.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable JSON (results, query plan, engine statistics)",
+    )
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="stream JSONL requests through the service, one envelope per line",
+    )
+    _add_common_options(batch)
+    _add_service_options(batch)
+    batch.add_argument(
+        "--input",
+        default="-",
+        metavar="FILE",
+        help="JSONL request file; '-' reads stdin (default)",
+    )
+    batch.add_argument(
+        "--output",
+        default="-",
+        metavar="FILE",
+        help="where to write JSONL result envelopes; '-' writes stdout (default)",
+    )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="dump aggregate service statistics as JSON on stderr afterwards",
     )
 
     return parser
@@ -173,6 +219,27 @@ def build_parser() -> argparse.ArgumentParser:
 def _config(args: argparse.Namespace) -> MethodConfig:
     return MethodConfig(
         epsilon=args.epsilon, seed=args.seed, mc_num_walks=args.mc_walks
+    )
+
+
+def _service(args: argparse.Namespace) -> SimRankService:
+    """A service configured from the shared CLI options."""
+    budget = (
+        int(args.memory_budget_mb * 1024 * 1024)
+        if args.memory_budget_mb is not None
+        else None
+    )
+    return SimRankService(
+        ServiceConfig(
+            backend=args.backend,
+            memory_budget_bytes=budget,
+            cache_size=args.cache_size,
+            scale=args.scale,
+            seed=args.seed,
+            backend_config=BackendConfig(
+                epsilon=args.epsilon, seed=args.seed, mc_num_walks=args.mc_walks
+            ),
+        )
     )
 
 
@@ -253,33 +320,40 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "query":
         return _run_query(args)
 
+    if args.command == "batch":
+        return _run_batch(args)
+
     return 1  # pragma: no cover - unreachable with required=True
 
 
+def _fail_loudly(result: QueryResult) -> int:
+    """Report one error envelope on stderr (the interactive query path)."""
+    assert result.error is not None
+    print(f"error [{result.error.code}]: {result.error.message}", file=sys.stderr)
+    return 1
+
+
 def _run_query(args: argparse.Namespace) -> int:
-    """The ``query`` sub-command: ad-hoc queries through the engine layer."""
-    graph = datasets.load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    budget = (
-        int(args.memory_budget_mb * 1024 * 1024)
-        if args.memory_budget_mb is not None
-        else None
-    )
-    engine = create_engine(
-        graph,
-        backend=args.backend,
-        memory_budget_bytes=budget,
-        config=BackendConfig(
-            epsilon=args.epsilon, seed=args.seed, mc_num_walks=args.mc_walks
-        ),
-        cache_size=args.cache_size,
-    )
+    """The ``query`` sub-command: one ad-hoc request through the service."""
+    service = _service(args)
+    session = service.open_dataset(args.dataset)
+    graph = session.graph
     source = args.source % graph.num_nodes
-    pair_score = None
+    pair_result = None
     target = None
     if args.target is not None:
         target = args.target % graph.num_nodes
-        pair_score = engine.single_pair(source, target)
-    ranked = engine.top_k(source, args.top)
+        pair_result = service.execute(
+            SinglePairQuery(dataset=args.dataset, node_u=source, node_v=target)
+        )
+        if not pair_result.ok:
+            return _fail_loudly(pair_result)
+    top_result = service.execute(
+        TopKQuery(dataset=args.dataset, node=source, k=args.top)
+    )
+    if not top_result.ok:
+        return _fail_loudly(top_result)
+    statistics = session.engine().statistics
 
     if args.json:
         payload = {
@@ -287,30 +361,103 @@ def _run_query(args: argparse.Namespace) -> int:
             "num_nodes": graph.num_nodes,
             "num_edges": graph.num_edges,
             "source": source,
-            "plan": engine.plan.as_dict(),
-            "top_k": [
-                {"rank": rank, "node": node, "score": score}
-                for rank, (node, score) in enumerate(ranked, start=1)
-            ],
-            "statistics": engine.statistics.as_dict(),
+            "plan": top_result.plan,
+            "top_k": top_result.value,
+            "statistics": statistics.as_dict(),
         }
-        if pair_score is not None:
+        if pair_result is not None:
             payload["single_pair"] = {
                 "source": source,
                 "target": target,
-                "score": pair_score,
+                "score": pair_result.value,
             }
         print(json.dumps(payload, indent=2))
         return 0
 
-    print(f"backend: {engine.plan.backend} ({engine.plan.reason})")
-    if pair_score is not None:
-        print(f"s({source}, {target}) = {pair_score:.6f}")
+    plan = top_result.plan or {}
+    reason = plan.get("reason", "hand-built backend")
+    print(f"backend: {top_result.backend} ({reason})")
+    if pair_result is not None:
+        print(f"s({source}, {target}) = {pair_result.value:.6f}")
     print(f"top-{args.top} nodes most similar to {source}:")
-    for rank, (node, score) in enumerate(ranked, start=1):
-        print(f"  #{rank:2d}  node {node:6d}  score {score:.6f}")
-    print(f"engine: {engine.statistics.summary()}")
+    for entry in top_result.value:
+        print(
+            f"  #{entry['rank']:2d}  node {entry['node']:6d}  "
+            f"score {entry['score']:.6f}"
+        )
+    print(f"engine: {statistics.summary()}")
     return 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    """The ``batch`` sub-command: JSONL requests in, JSONL envelopes out.
+
+    Every input line yields exactly one envelope line; lines that cannot be
+    parsed or answered become error envelopes.  Returns 0 when every request
+    succeeded, 1 otherwise (a summary goes to stderr either way).
+    """
+    service = _service(args)
+    ok_count = 0
+    error_count = 0
+
+    def run(input_stream: TextIO, output_stream: TextIO) -> None:
+        nonlocal ok_count, error_count
+        for line in input_stream:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                result = QueryResult.failure(
+                    ERROR_BAD_REQUEST, f"invalid JSON: {exc}"
+                )
+            else:
+                result = service.execute_wire(payload)
+            print(encode_result(result), file=output_stream, flush=True)
+            if result.ok:
+                ok_count += 1
+            else:
+                error_count += 1
+
+    try:
+        input_stream = (
+            sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
+        )
+    except OSError as exc:
+        print(f"error: cannot read --input {args.input!r}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        try:
+            output_stream = (
+                sys.stdout
+                if args.output == "-"
+                else open(args.output, "w", encoding="utf-8")
+            )
+        except OSError as exc:
+            print(
+                f"error: cannot write --output {args.output!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            run(input_stream, output_stream)
+        finally:
+            if output_stream is not sys.stdout:
+                output_stream.close()
+    finally:
+        if input_stream is not sys.stdin:
+            input_stream.close()
+
+    total = ok_count + error_count
+    print(
+        f"batch: {ok_count}/{total} ok, {error_count} error(s); "
+        f"datasets: {', '.join(service.list_datasets()) or 'none'}",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(json.dumps(service.statistics(), indent=2), file=sys.stderr)
+    return 0 if error_count == 0 else 1
 
 
 if __name__ == "__main__":

@@ -14,8 +14,19 @@ repository can answer a SimRank query:
   disk-backed SLING backend from a memory budget, falling back to a baseline
   when no index can be built.
 
-The CLI, the experiment drivers, and the examples all dispatch queries
-through this layer; future sharding / async-serving work plugs in here.
+This package is the *middle* layer of the serving stack::
+
+    repro.service   SimRankService: typed requests -> QueryResult envelopes,
+       |            named dataset sessions, JSONL wire protocol
+    repro.engine    QueryEngine: batching, LRU cache, statistics; planner
+       |            routing under a memory budget
+    backends        SLING index, disk-backed SLING, baselines
+
+Consumers (the CLI, the experiment drivers, the examples, ``repro batch``)
+talk to :class:`repro.service.SimRankService`, which opens one engine per
+(dataset, backend) pair through :func:`create_engine`; the engine is an
+internal layer — reach for it directly only when embedding a single backend
+without session management (tests, micro-benchmarks).
 """
 
 from .backends import (

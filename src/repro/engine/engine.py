@@ -105,6 +105,9 @@ class EngineStatistics:
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
             "total_seconds": self.total_seconds,
+            # Bounded at MAX_QUERY_RECORDS; exposes per-query latencies to
+            # ``repro query --json`` and the service envelopes.
+            "recent_queries": [record.as_dict() for record in self.recent_queries],
         }
 
     def summary(self) -> str:
@@ -233,6 +236,28 @@ class QueryEngine:
             self._cache_store(node, vector)
         return vector
 
+    def _batch_source_vector(
+        self, node: int, local: dict[int, np.ndarray]
+    ) -> np.ndarray:
+        """The single-source vector for one member of a batch.
+
+        With the cache enabled this is just :meth:`_source_vector`; with it
+        disabled, duplicates within the batch are still served from the
+        batch-local table (and counted as hits/misses) so per-batch
+        deduplication survives ``cache_size=0``.  Shared by every ``_many``
+        method so their accounting cannot drift apart.
+        """
+        if self._cache_size == 0:
+            vector = local.get(node)
+            if vector is not None:
+                self._stats.cache_hits += 1
+                return vector
+            self._stats.cache_misses += 1
+            vector = np.asarray(self._backend.single_source(node), dtype=np.float64)
+            local[node] = vector
+            return vector
+        return self._source_vector(node)
+
     # ------------------------------------------------------------------ #
     # Single queries
     # ------------------------------------------------------------------ #
@@ -313,18 +338,7 @@ class QueryEngine:
             if node_u in hot_sources:
                 start = time.perf_counter()
                 before = self._stats.cache_hits
-                if self._cache_size == 0:
-                    if node_u in local:
-                        self._stats.cache_hits += 1
-                        vector = local[node_u]
-                    else:
-                        self._stats.cache_misses += 1
-                        vector = np.asarray(
-                            self._backend.single_source(node_u), dtype=np.float64
-                        )
-                        local[node_u] = vector
-                else:
-                    vector = self._source_vector(node_u)
+                vector = self._batch_source_vector(node_u, local)
                 hit = self._stats.cache_hits > before
                 results.append(float(vector[node_v]))
                 self._finish("single_pair", start, cache_hit=hit)
@@ -345,18 +359,7 @@ class QueryEngine:
         for node in nodes:
             start = time.perf_counter()
             before = self._stats.cache_hits
-            if self._cache_size == 0:
-                if node in local:
-                    self._stats.cache_hits += 1
-                    vector = local[node]
-                else:
-                    self._stats.cache_misses += 1
-                    vector = np.asarray(
-                        self._backend.single_source(node), dtype=np.float64
-                    )
-                    local[node] = vector
-            else:
-                vector = self._source_vector(node)
+            vector = self._batch_source_vector(node, local)
             self._finish(
                 "single_source", start, cache_hit=self._stats.cache_hits > before
             )
@@ -366,8 +369,23 @@ class QueryEngine:
     def top_k_many(
         self, nodes: Sequence[int] | Iterable[int], k: int
     ) -> list[list[tuple[int, float]]]:
-        """Answer a batch of top-k queries through the shared source cache."""
-        return [self.top_k(node, k) for node in nodes]
+        """Answer a batch of top-k queries, one single-source computation per
+        distinct source; duplicates within the batch are served from cache
+        (or, with caching disabled, from a batch-local table)."""
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        nodes = [int(node) for node in nodes]
+        self._stats.batch_calls += 1
+        local: dict[int, np.ndarray] = {}
+        results: list[list[tuple[int, float]]] = []
+        for node in nodes:
+            start = time.perf_counter()
+            before = self._stats.cache_hits
+            vector = self._batch_source_vector(node, local)
+            ranked = rank_top_k(vector.copy(), node, k)
+            self._finish("top_k", start, cache_hit=self._stats.cache_hits > before)
+            results.append(ranked)
+        return results
 
     # ------------------------------------------------------------------ #
     def _finish(self, kind: str, start: float, *, cache_hit: bool) -> None:

@@ -21,12 +21,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
 from ..baselines import MonteCarloIndex, SqrtCMonteCarloIndex
-from ..graphs import DiGraph, datasets
+from ..graphs import datasets
 from ..sling import SlingIndex, SlingParameters, SqrtCWalker, estimate_correction_factor
 from .ground_truth import GroundTruthCache
 from .metrics import max_error

@@ -19,18 +19,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..engine import (
     BackendConfig,
-    QueryEngine,
     SimilarityBackend,
     SlingBackend,
     create_backend,
 )
 from ..graphs import DiGraph, datasets
+from ..service import ServiceConfig, SimRankService
 from ..sling import SlingParameters, build_with_thread_count, out_of_core_build
 from .ground_truth import GroundTruthCache
 from .metrics import GroupedErrors, grouped_errors, max_error, top_k_precision
@@ -109,16 +109,22 @@ def build_method(
     return create_backend(name, graph, _backend_config(config))
 
 
-def _query_engine(
-    name: str, graph: DiGraph, config: MethodConfig
-) -> QueryEngine:
-    """An engine over one backend with caching disabled, so the figure
-    timings measure the backend itself rather than the engine's cache."""
-    return QueryEngine(build_method(name, graph, config), cache_size=0)
+def _service(scale: float, config: MethodConfig) -> SimRankService:
+    """A service whose dataset sessions carry cache-disabled engines, so the
+    figure timings measure the backend itself rather than the engine's cache.
 
-
-def _load(dataset: str, scale: float, seed: int) -> DiGraph:
-    return datasets.load_dataset(dataset, scale=scale, seed=seed)
+    The experiment drivers address datasets through service sessions like
+    every other consumer; one engine per (dataset, method) is built lazily
+    and reused across the queries of that cell.
+    """
+    return SimRankService(
+        ServiceConfig(
+            cache_size=0,
+            scale=scale,
+            seed=config.seed,
+            backend_config=_backend_config(config),
+        )
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -143,12 +149,13 @@ def single_pair_experiment(
     config: MethodConfig = MethodConfig(),
 ) -> list[QueryCostRow]:
     """Figure 1: average single-pair query time per dataset and method."""
+    service = _service(scale, config)
     rows: list[QueryCostRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
-        pairs = random_pairs(graph, num_queries, seed=config.seed)
+        session = service.open_dataset(dataset)
+        pairs = random_pairs(session.graph, num_queries, seed=config.seed)
         for method_name in methods:
-            engine = _query_engine(method_name, graph, config)
+            engine = session.engine(method_name)
             start = time.perf_counter()
             engine.single_pair_many(pairs, amortize=False)
             elapsed = time.perf_counter() - start
@@ -179,16 +186,16 @@ def single_source_experiment(
     ``"SLING"`` runs Algorithm 6; ``"SLING (Alg. 3)"`` is the naive variant
     that applies the single-pair algorithm once per node.
     """
+    service = _service(scale, config)
     rows: list[QueryCostRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
-        sources = random_sources(graph, num_queries, seed=config.seed)
-        built: dict[str, QueryEngine] = {}
+        session = service.open_dataset(dataset)
+        sources = random_sources(session.graph, num_queries, seed=config.seed)
         for method_name in methods:
+            # Both SLING variants share one engine (the session caches per
+            # resolved backend name), so the index is built once.
             base_name = "SLING" if method_name.startswith("SLING") else method_name
-            if base_name not in built:
-                built[base_name] = _query_engine(base_name, graph, config)
-            engine = built[base_name]
+            engine = session.engine(base_name)
             start = time.perf_counter()
             if method_name == "SLING (Alg. 3)":
                 backend = engine.backend
@@ -239,9 +246,12 @@ def preprocessing_experiment(
     config: MethodConfig = MethodConfig(),
 ) -> list[PreprocessingRow]:
     """Figure 3: preprocessing (index construction) time of each method."""
+    service = _service(scale, config)
     rows: list[PreprocessingRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
+        # Timing index construction itself, so build fresh backends on the
+        # session's graph instead of reusing its lazily-built engines.
+        graph = service.open_dataset(dataset).graph
         for method_name in methods:
             timing = time_callable(lambda: build_method(method_name, graph, config))
             rows.append(
@@ -262,11 +272,12 @@ def space_experiment(
     config: MethodConfig = MethodConfig(),
 ) -> list[SpaceRow]:
     """Figure 4: index size of each method."""
+    service = _service(scale, config)
     rows: list[SpaceRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
+        session = service.open_dataset(dataset)
         for method_name in methods:
-            method = build_method(method_name, graph, config)
+            method = session.engine(method_name).backend
             rows.append(
                 SpaceRow(
                     dataset=dataset,
@@ -323,10 +334,13 @@ def accuracy_experiment(
     cache: GroundTruthCache | None = None,
 ) -> list[AccuracyRow]:
     """Figure 5: maximum all-pairs error over repeated index builds."""
+    service = _service(scale, config)
     cache = cache or GroundTruthCache()
     rows: list[AccuracyRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
+        # Each run rebuilds with a different seed, so the session supplies
+        # the graph while the per-run backends are built ad hoc.
+        graph = service.open_dataset(dataset).graph
         truth = cache.get(graph, c=config.c)
         for run in range(num_runs):
             run_config = MethodConfig(
@@ -360,13 +374,14 @@ def grouped_error_experiment(
     cache: GroundTruthCache | None = None,
 ) -> list[GroupedErrorRow]:
     """Figure 6: average error within the S1 / S2 / S3 score groups."""
+    service = _service(scale, config)
     cache = cache or GroundTruthCache()
     rows: list[GroupedErrorRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
-        truth = cache.get(graph, c=config.c)
+        session = service.open_dataset(dataset)
+        truth = cache.get(session.graph, c=config.c)
         for method_name in methods:
-            method = build_method(method_name, graph, config)
+            method = session.engine(method_name).backend
             estimated = _all_pairs_matrix(method)
             rows.append(
                 GroupedErrorRow(
@@ -388,13 +403,14 @@ def top_k_experiment(
     cache: GroundTruthCache | None = None,
 ) -> list[TopKRow]:
     """Figure 7: precision of the top-k node pairs returned by each method."""
+    service = _service(scale, config)
     cache = cache or GroundTruthCache()
     rows: list[TopKRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
-        truth = cache.get(graph, c=config.c)
+        session = service.open_dataset(dataset)
+        truth = cache.get(session.graph, c=config.c)
         for method_name in methods:
-            method = build_method(method_name, graph, config)
+            method = session.engine(method_name).backend
             estimated = _all_pairs_matrix(method)
             for k in k_values:
                 rows.append(
@@ -428,9 +444,10 @@ def parallel_scaling_experiment(
     config: MethodConfig = MethodConfig(),
 ) -> list[ParallelRow]:
     """Figure 9: preprocessing time as the number of workers grows."""
+    service = _service(scale, config)
     rows: list[ParallelRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
+        graph = service.open_dataset(dataset).graph
         params = SlingParameters.from_accuracy_target(
             num_nodes=graph.num_nodes, c=config.c, epsilon=config.epsilon
         )
@@ -471,9 +488,10 @@ def out_of_core_experiment(
     """
     from pathlib import Path
 
+    service = _service(scale, config)
     rows: list[OutOfCoreRow] = []
     for dataset in dataset_names:
-        graph = _load(dataset, scale, config.seed)
+        graph = service.open_dataset(dataset).graph
         params = SlingParameters.from_accuracy_target(
             num_nodes=graph.num_nodes, c=config.c, epsilon=config.epsilon
         )
@@ -515,7 +533,7 @@ def epsilon_scaling_experiment(
     config: MethodConfig = MethodConfig(),
 ) -> list[ScalingRow]:
     """Empirical check of the Table-1 bounds: query time and space vs. 1/ε."""
-    graph = _load(dataset, scale, config.seed)
+    graph = _service(scale, config).open_dataset(dataset).graph
     pairs = random_pairs(graph, num_queries, seed=config.seed)
     rows: list[ScalingRow] = []
     for epsilon in epsilons:
@@ -525,7 +543,10 @@ def epsilon_scaling_experiment(
             seed=config.seed,
             mc_num_walks=config.mc_num_walks,
         )
-        engine = _query_engine("sling", graph, scaled_config)
+        # Each ε needs its own index: attach the already-loaded graph to a
+        # fresh service session configured at that accuracy.
+        session = _service(scale, scaled_config).open_dataset(dataset, graph=graph)
+        engine = session.engine("sling")
         backend = engine.backend
         assert isinstance(backend, SlingBackend)
         start = time.perf_counter()

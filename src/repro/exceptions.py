@@ -41,5 +41,10 @@ class StorageError(ReproError, IOError):
     """Raised when the on-disk index store cannot be read or written."""
 
 
+class WireFormatError(ReproError, ValueError):
+    """Raised when a wire-protocol payload cannot be decoded into a request
+    or result (unknown kind, missing or mistyped fields, unexpected keys)."""
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """Raised when an iterative solver fails to converge within its budget."""

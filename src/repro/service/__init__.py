@@ -1,0 +1,69 @@
+"""Typed request/response service API over the query engine.
+
+This package is the serving boundary of the repository — the layer a CLI,
+batch runner, or future async/HTTP front end talks to.  The layering is
+strictly::
+
+    service   (typed requests -> result envelopes, named dataset sessions)
+       |
+    engine    (QueryEngine: batching, LRU cache, statistics; planner routing)
+       |
+    backend   (SLING index, disk-backed SLING, baselines)
+
+* :mod:`repro.service.queries` — frozen, validated request dataclasses
+  (:class:`SinglePairQuery`, :class:`SingleSourceQuery`, :class:`TopKQuery`,
+  :class:`AllPairsQuery`);
+* :mod:`repro.service.results` — the :class:`QueryResult` envelope (value +
+  dataset + backend + plan + latency + cache-hit flag, or a structured
+  :class:`QueryError` — bad requests never raise across the boundary);
+* :mod:`repro.service.service` — :class:`SimRankService`, which manages named
+  dataset sessions (lazy open via the planner and memory budget, per-backend
+  engines, close / list / aggregate statistics);
+* :mod:`repro.service.wire` — the JSONL wire protocol (``repro batch``
+  streams request lines through the service and emits envelope lines).
+"""
+
+from .queries import (
+    QUERY_KINDS,
+    AllPairsQuery,
+    Query,
+    SinglePairQuery,
+    SingleSourceQuery,
+    TopKQuery,
+    query_from_wire,
+)
+from .results import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_NODE_OUT_OF_RANGE,
+    ERROR_UNKNOWN_DATASET,
+    QueryError,
+    QueryResult,
+    result_from_wire,
+)
+from .service import DatasetSession, ServiceConfig, SimRankService
+from .wire import decode_request, decode_result, encode_request, encode_result
+
+__all__ = [
+    "Query",
+    "SinglePairQuery",
+    "SingleSourceQuery",
+    "TopKQuery",
+    "AllPairsQuery",
+    "QUERY_KINDS",
+    "query_from_wire",
+    "QueryError",
+    "QueryResult",
+    "result_from_wire",
+    "ERROR_BAD_REQUEST",
+    "ERROR_UNKNOWN_DATASET",
+    "ERROR_NODE_OUT_OF_RANGE",
+    "ERROR_INTERNAL",
+    "ServiceConfig",
+    "DatasetSession",
+    "SimRankService",
+    "encode_request",
+    "decode_request",
+    "encode_result",
+    "decode_result",
+]

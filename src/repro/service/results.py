@@ -1,0 +1,179 @@
+"""The response envelope every service call returns.
+
+A :class:`QueryResult` is the *only* thing that crosses the service boundary:
+successful queries carry their value plus provenance (dataset, backend, the
+planner's routing decision, latency, whether the engine's cache answered);
+failed ones carry a structured :class:`QueryError` instead of an exception.
+``value`` is always plain JSON-able Python (floats, lists, dicts) so the
+envelope serialises to one JSONL line without further conversion.
+
+Value shapes by kind:
+
+=============== ==========================================================
+``single_pair``   ``float``
+``single_source`` ``list[float]`` (index = node id)
+``top_k``         ``list[{"rank": int, "node": int, "score": float}]``
+``all_pairs``     ``list[list[float]]`` (row = source node)
+=============== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import WireFormatError
+
+__all__ = [
+    "ERROR_BAD_REQUEST",
+    "ERROR_UNKNOWN_DATASET",
+    "ERROR_NODE_OUT_OF_RANGE",
+    "ERROR_INTERNAL",
+    "QueryError",
+    "QueryResult",
+    "result_from_wire",
+]
+
+#: The request could not be decoded or failed field validation.
+ERROR_BAD_REQUEST = "bad_request"
+#: The request names a dataset that is neither open nor in the registry.
+ERROR_UNKNOWN_DATASET = "unknown_dataset"
+#: A node id falls outside the dataset's ``[0, n)`` range.
+ERROR_NODE_OUT_OF_RANGE = "node_out_of_range"
+#: The backend raised unexpectedly; the message carries the original error.
+ERROR_INTERNAL = "internal_error"
+
+
+@dataclass(frozen=True)
+class QueryError:
+    """Structured failure description carried by an error envelope."""
+
+    code: str
+    message: str
+
+    def to_wire(self) -> dict:
+        """Plain-dict form for JSON output."""
+        return {"code": self.code, "message": self.message}
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Uniform envelope for every service response (success or failure)."""
+
+    ok: bool
+    kind: str | None
+    dataset: str | None
+    value: object = None
+    backend: str | None = None
+    plan: dict | None = None
+    seconds: float = 0.0
+    cache_hit: bool | None = None
+    error: QueryError | None = None
+
+    @classmethod
+    def success(
+        cls,
+        *,
+        kind: str,
+        dataset: str,
+        value: object,
+        backend: str,
+        plan: dict | None,
+        seconds: float,
+        cache_hit: bool | None,
+    ) -> "QueryResult":
+        """A successful envelope; ``value`` must already be JSON-able.
+
+        Built by populating ``__dict__`` directly instead of the generated
+        ``__init__``: the frozen dataclass assigns fields one
+        ``object.__setattr__`` at a time, which is the single largest cost on
+        the service's warm-cache hot path (see
+        ``benchmarks/bench_service_overhead.py``).
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "__dict__", {
+            "ok": True,
+            "kind": kind,
+            "dataset": dataset,
+            "value": value,
+            "backend": backend,
+            "plan": plan,
+            "seconds": seconds,
+            "cache_hit": cache_hit,
+            "error": None,
+        })
+        return self
+
+    @classmethod
+    def failure(
+        cls,
+        code: str,
+        message: str,
+        *,
+        kind: str | None = None,
+        dataset: str | None = None,
+        seconds: float = 0.0,
+    ) -> "QueryResult":
+        """An error envelope; ``kind``/``dataset`` are best-effort context."""
+        return cls(
+            ok=False,
+            kind=kind,
+            dataset=dataset,
+            seconds=seconds,
+            error=QueryError(code=code, message=message),
+        )
+
+    def to_wire(self) -> dict:
+        """One JSON-able dict — exactly one JSONL line of the wire protocol."""
+        payload = {
+            "ok": self.ok,
+            "kind": self.kind,
+            "dataset": self.dataset,
+            "seconds": self.seconds,
+        }
+        if self.ok:
+            payload["value"] = self.value
+            payload["backend"] = self.backend
+            payload["plan"] = self.plan
+            payload["cache_hit"] = self.cache_hit
+        else:
+            assert self.error is not None
+            payload["error"] = self.error.to_wire()
+        return payload
+
+
+def result_from_wire(payload: object) -> QueryResult:
+    """Decode one wire dict back into a :class:`QueryResult`.
+
+    Used by wire-protocol clients (and the round-trip tests); raises
+    :class:`~repro.exceptions.WireFormatError` on malformed payloads.
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"result must be a JSON object, got {type(payload).__name__}"
+        )
+    if "ok" not in payload or not isinstance(payload["ok"], bool):
+        raise WireFormatError("result payload must carry a boolean 'ok' field")
+    common = {
+        "kind": payload.get("kind"),
+        "dataset": payload.get("dataset"),
+        "seconds": float(payload.get("seconds", 0.0)),
+    }
+    if payload["ok"]:
+        return QueryResult(
+            ok=True,
+            value=payload.get("value"),
+            backend=payload.get("backend"),
+            plan=payload.get("plan"),
+            cache_hit=payload.get("cache_hit"),
+            **common,
+        )
+    error = payload.get("error")
+    if not isinstance(error, dict) or "code" not in error:
+        raise WireFormatError("error envelope must carry an 'error' object with a code")
+    return QueryResult(
+        ok=False,
+        error=QueryError(
+            code=str(error["code"]), message=str(error.get("message", ""))
+        ),
+        **common,
+    )

@@ -1,0 +1,387 @@
+"""The request/response facade: named dataset sessions over query engines.
+
+:class:`SimRankService` is the layer consumers talk to.  It owns a set of
+named **dataset sessions** — each one a graph plus lazily-built
+:class:`~repro.engine.QueryEngine` instances (one per backend actually used,
+routed by the planner under the service's memory budget) — and answers typed
+:class:`~repro.service.queries.Query` objects with
+:class:`~repro.service.results.QueryResult` envelopes.
+
+The contract at this boundary is *no exceptions for bad requests*: an unknown
+dataset, an out-of-range node, or an undecodable wire payload comes back as
+an error envelope with a structured code, so callers (the ``repro batch``
+JSONL runner today, an async/HTTP front end tomorrow) never have to guard a
+dispatch with try/except.  Programming errors inside a backend are likewise
+contained and reported as ``internal_error`` envelopes.
+
+Typical use::
+
+    service = SimRankService(ServiceConfig(scale=0.1))
+    result = service.execute(TopKQuery(dataset="GrQc", node=3, k=5))
+    assert result.ok and result.backend == "sling"
+
+Sessions open lazily on first use (any registry dataset name works), or
+explicitly — including over caller-supplied graphs::
+
+    session = service.open_dataset("my-graph", graph=graph)
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..engine import BackendConfig, QueryEngine, create_engine, resolve_backend_name
+from ..exceptions import ParameterError, ReproError, WireFormatError
+from ..graphs import DiGraph, datasets
+from .queries import Query, query_from_wire
+from .results import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_NODE_OUT_OF_RANGE,
+    ERROR_UNKNOWN_DATASET,
+    QueryResult,
+)
+
+__all__ = ["ServiceConfig", "DatasetSession", "SimRankService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide policy: how sessions load graphs and build engines."""
+
+    #: Default backend label for every session; ``"auto"`` lets the planner
+    #: route from :attr:`memory_budget_bytes`.
+    backend: str = "auto"
+    #: Memory budget handed to the planner when routing ``"auto"`` queries.
+    memory_budget_bytes: int | None = None
+    #: Per-engine LRU capacity for single-source vectors (0 disables).
+    cache_size: int = 128
+    #: Stand-in scale applied when loading registry datasets.
+    scale: float = 1.0
+    #: Seed for registry dataset generation.
+    seed: int = 0
+    #: When ``False`` the planner must route to an index-free baseline.
+    allow_index_build: bool = True
+    #: Accuracy / seed knobs forwarded to backend construction.
+    backend_config: BackendConfig = field(default_factory=BackendConfig)
+
+
+class DatasetSession:
+    """One named dataset: its graph plus per-backend query engines.
+
+    Engines build lazily on first use and are keyed by resolved backend name
+    (``"auto"`` is its own key — the planner's pick for this graph), so a
+    session can serve the planner-routed path and explicitly-pinned backends
+    side by side without rebuilding indexes.
+    """
+
+    def __init__(self, name: str, graph: DiGraph, config: ServiceConfig) -> None:
+        self._name = name
+        self._graph = graph
+        self._config = config
+        self._engines: OrderedDict[str, QueryEngine] = OrderedDict()
+        #: Requested label (or ``None`` = service default) -> (engine, cached
+        #: wire-form plan).  One dict lookup on the per-query hot path.
+        self._by_label: dict[str | None, tuple[QueryEngine, dict | None]] = {}
+
+    @property
+    def name(self) -> str:
+        """The session's name — the key queries address it by."""
+        return self._name
+
+    @property
+    def graph(self) -> DiGraph:
+        """The graph this session answers queries on."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the session's graph."""
+        return self._graph.num_nodes
+
+    def backends(self) -> list[str]:
+        """Engine keys built so far, in first-use order."""
+        return list(self._engines)
+
+    def engine(self, backend: str | None = None) -> QueryEngine:
+        """The engine for ``backend`` (default: the service's), building it
+        on first use via the planner + memory budget."""
+        return self.engine_and_plan(backend)[0]
+
+    def engine_and_plan(
+        self, backend: str | None = None
+    ) -> tuple[QueryEngine, dict | None]:
+        """The engine for ``backend`` plus the wire form of its query plan.
+
+        Engines are shared across alias spellings (keyed by resolved backend
+        name); the plan dict is computed once at build time because it never
+        changes afterwards and per-query envelopes must not rebuild it.
+        """
+        cached = self._by_label.get(backend)
+        if cached is not None:
+            return cached
+        label = backend if backend is not None else self._config.backend
+        key = "auto" if label == "auto" else resolve_backend_name(label)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = create_engine(
+                self._graph,
+                backend=label,
+                memory_budget_bytes=self._config.memory_budget_bytes,
+                config=self._config.backend_config,
+                cache_size=self._config.cache_size,
+                allow_index_build=self._config.allow_index_build,
+            )
+            self._engines[key] = engine
+        plan = engine.plan.as_dict() if engine.plan else None
+        self._by_label[backend] = (engine, plan)
+        return engine, plan
+
+    def statistics(self) -> dict:
+        """Per-session statistics: graph size plus one entry per engine."""
+        return {
+            "dataset": self._name,
+            "num_nodes": self._graph.num_nodes,
+            "num_edges": self._graph.num_edges,
+            "engines": {
+                key: engine.statistics.as_dict()
+                for key, engine in self._engines.items()
+            },
+        }
+
+    def total_queries(self) -> int:
+        """Queries answered across every engine of this session."""
+        return sum(e.statistics.total_queries for e in self._engines.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DatasetSession({self._name!r}, n={self._graph.num_nodes}, "
+            f"engines={list(self._engines)})"
+        )
+
+
+class SimRankService:
+    """Typed request/response API over named dataset sessions."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self._config = config or ServiceConfig()
+        self._sessions: OrderedDict[str, DatasetSession] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Session management
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> ServiceConfig:
+        """The policy this service was created with."""
+        return self._config
+
+    def _canonical(self, name: str) -> str:
+        """Resolve ``name`` case-insensitively against open sessions, then
+        the dataset registry; unknown names pass through unchanged."""
+        lowered = name.lower()
+        for key in self._sessions:
+            if key.lower() == lowered:
+                return key
+        for key in datasets.dataset_names():
+            if key.lower() == lowered:
+                return key
+        return name
+
+    def open_dataset(
+        self, name: str, *, graph: DiGraph | None = None
+    ) -> DatasetSession:
+        """The session for ``name``, opening it if needed.
+
+        Without ``graph``, the name must be a registry dataset
+        (:func:`repro.graphs.datasets.load_dataset`, at the service's scale
+        and seed); with ``graph``, any name registers the caller's graph as a
+        session — how the examples serve generated graphs.  Re-opening an
+        existing session returns it unchanged (a conflicting ``graph`` raises
+        :class:`~repro.exceptions.ParameterError`).
+        """
+        key = self._canonical(name)
+        session = self._sessions.get(key)
+        if session is not None:
+            if graph is not None and graph is not session.graph:
+                raise ParameterError(
+                    f"dataset session {key!r} is already open over a different graph"
+                )
+            return session
+        if graph is None:
+            graph = datasets.load_dataset(
+                key, scale=self._config.scale, seed=self._config.seed
+            )
+        session = DatasetSession(key, graph, self._config)
+        self._sessions[key] = session
+        return session
+
+    def close_dataset(self, name: str) -> bool:
+        """Drop the session (graph, engines, caches); ``False`` if not open."""
+        return self._sessions.pop(self._canonical(name), None) is not None
+
+    def close_all(self) -> None:
+        """Drop every session."""
+        self._sessions.clear()
+
+    def list_datasets(self) -> list[str]:
+        """Names of the open sessions, in opening order."""
+        return list(self._sessions)
+
+    def statistics(self) -> dict:
+        """Aggregate statistics: per-session detail plus service-wide totals."""
+        per_dataset = {
+            name: session.statistics() for name, session in self._sessions.items()
+        }
+        totals = {"total_queries": 0, "cache_hits": 0, "cache_misses": 0,
+                  "total_seconds": 0.0}
+        for session in self._sessions.values():
+            for engine in session._engines.values():
+                stats = engine.statistics
+                totals["total_queries"] += stats.total_queries
+                totals["cache_hits"] += stats.cache_hits
+                totals["cache_misses"] += stats.cache_misses
+                totals["total_seconds"] += stats.total_seconds
+        return {"datasets": per_dataset, "totals": totals}
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, query: Query, *, backend: str | None = None) -> QueryResult:
+        """Answer one typed query; every failure is an error envelope.
+
+        ``seconds`` on the envelope is the service-observed latency — on the
+        first query of a session that includes the lazy graph load and index
+        build.
+        """
+        start = time.perf_counter()
+        kind, dataset = query.kind, query.dataset
+
+        # Steady-state fast path: the session exists and its engine is memoized,
+        # so reaching the engine costs two dict lookups.
+        session = self._sessions.get(dataset)
+        if session is None:
+            try:
+                session = self.open_dataset(dataset)
+            except ParameterError as exc:
+                # A known dataset name that still fails to load is a
+                # service-side problem (bad scale, broken generator), not the
+                # client naming an unknown dataset.
+                known = any(
+                    key.lower() == dataset.lower()
+                    for key in datasets.dataset_names()
+                )
+                code = ERROR_INTERNAL if known else ERROR_UNKNOWN_DATASET
+                return self._fail(code, str(exc), query, start)
+            except Exception as exc:  # noqa: BLE001 - the boundary must not leak
+                return self._fail(
+                    ERROR_INTERNAL, f"{type(exc).__name__}: {exc}", query, start
+                )
+        try:
+            engine, plan = session.engine_and_plan(backend)
+        except ParameterError as exc:
+            return self._fail(ERROR_BAD_REQUEST, str(exc), query, start)
+        except Exception as exc:  # noqa: BLE001 - lazy index builds can fail too
+            return self._fail(
+                ERROR_INTERNAL, f"{type(exc).__name__}: {exc}", query, start
+            )
+
+        n = session.num_nodes
+        stats = engine.statistics
+        hits_before = stats.cache_hits
+        cache_hit: bool | None
+        try:
+            if kind == "single_pair":
+                if query.node_u >= n or query.node_v >= n:
+                    return self._out_of_range(query, session, start)
+                value: object = engine.single_pair(query.node_u, query.node_v)
+            elif kind == "single_source":
+                if query.node >= n:
+                    return self._out_of_range(query, session, start)
+                value = engine.single_source(query.node).tolist()
+            elif kind == "top_k":
+                if query.node >= n:
+                    return self._out_of_range(query, session, start)
+                value = [
+                    {"rank": rank, "node": node, "score": score}
+                    for rank, (node, score) in enumerate(
+                        engine.top_k(query.node, query.k), start=1
+                    )
+                ]
+            elif kind == "all_pairs":
+                value = [
+                    vector.tolist()
+                    for vector in engine.single_source_many(session.graph.nodes())
+                ]
+            else:
+                return self._fail(
+                    ERROR_BAD_REQUEST, f"unsupported query kind {kind!r}",
+                    query, start,
+                )
+        except ReproError as exc:
+            return self._fail(ERROR_BAD_REQUEST, str(exc), query, start)
+        except Exception as exc:  # noqa: BLE001 - the boundary must not leak
+            return self._fail(
+                ERROR_INTERNAL, f"{type(exc).__name__}: {exc}", query, start
+            )
+
+        cache_hit = stats.cache_hits > hits_before if kind != "all_pairs" else None
+        return QueryResult.success(
+            kind=kind,
+            dataset=session.name,
+            value=value,
+            backend=engine.backend.name,
+            plan=plan,
+            seconds=time.perf_counter() - start,
+            cache_hit=cache_hit,
+        )
+
+    @staticmethod
+    def _fail(code: str, message: str, query: Query, start: float) -> QueryResult:
+        return QueryResult.failure(
+            code, message, kind=query.kind, dataset=query.dataset,
+            seconds=time.perf_counter() - start,
+        )
+
+    @staticmethod
+    def _out_of_range(
+        query: Query, session: DatasetSession, start: float
+    ) -> QueryResult:
+        nodes = {
+            name: value
+            for name in ("node", "node_u", "node_v")
+            if (value := getattr(query, name, None)) is not None
+            and value >= session.num_nodes
+        }
+        described = ", ".join(f"{name}={value}" for name, value in nodes.items())
+        return QueryResult.failure(
+            ERROR_NODE_OUT_OF_RANGE,
+            f"{described} out of range for dataset {session.name!r} "
+            f"with {session.num_nodes} nodes",
+            kind=query.kind,
+            dataset=query.dataset,
+            seconds=time.perf_counter() - start,
+        )
+
+    def execute_wire(self, payload: object) -> QueryResult:
+        """Decode one wire dict and execute it; decoding failures become
+        ``bad_request`` envelopes (the guarantee ``repro batch`` relies on)."""
+        try:
+            query = query_from_wire(payload)
+        except (WireFormatError, ParameterError) as exc:
+            kind = payload.get("kind") if isinstance(payload, dict) else None
+            dataset = payload.get("dataset") if isinstance(payload, dict) else None
+            return QueryResult.failure(
+                ERROR_BAD_REQUEST,
+                str(exc),
+                kind=kind if isinstance(kind, str) else None,
+                dataset=dataset if isinstance(dataset, str) else None,
+            )
+        return self.execute(query)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimRankService(sessions={self.list_datasets()}, "
+            f"backend={self._config.backend!r})"
+        )

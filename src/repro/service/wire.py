@@ -1,0 +1,68 @@
+"""JSON / JSONL encoding of service requests and responses.
+
+The wire protocol is line-oriented: one JSON object per line, requests in,
+result envelopes out.  A request line looks like::
+
+    {"kind": "top_k", "dataset": "GrQc", "node": 3, "k": 5}
+
+and comes back as::
+
+    {"ok": true, "kind": "top_k", "dataset": "GrQc", "seconds": ...,
+     "value": [{"rank": 1, "node": ..., "score": ...}, ...],
+     "backend": "sling", "plan": {...}, "cache_hit": false}
+
+Malformed lines never raise across the boundary — they decode into error
+envelopes (``ok: false`` with a structured ``error`` object), which is what
+``repro batch`` emits for them.  This module owns the string-level layer
+(encode/decode one line); the dict-level codecs live with the dataclasses
+(:func:`~repro.service.queries.query_from_wire`,
+:func:`~repro.service.results.result_from_wire`).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..exceptions import WireFormatError
+from .queries import Query, query_from_wire
+from .results import QueryResult, result_from_wire
+
+__all__ = [
+    "encode_request",
+    "decode_request",
+    "encode_result",
+    "decode_result",
+]
+
+
+def encode_request(query: Query) -> str:
+    """One JSONL line for ``query``."""
+    return json.dumps(query.to_wire(), separators=(", ", ": "))
+
+
+def decode_request(line: str) -> Query:
+    """Parse one JSONL request line into a typed query.
+
+    Raises :class:`~repro.exceptions.WireFormatError` when the line is not
+    valid JSON or not a well-formed request (callers that must not raise —
+    the batch runner — catch it and emit an error envelope instead).
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireFormatError(f"invalid JSON: {exc}") from exc
+    return query_from_wire(payload)
+
+
+def encode_result(result: QueryResult) -> str:
+    """One JSONL line for ``result``."""
+    return json.dumps(result.to_wire(), separators=(", ", ": "))
+
+
+def decode_result(line: str) -> QueryResult:
+    """Parse one JSONL result line back into a :class:`QueryResult`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireFormatError(f"invalid JSON: {exc}") from exc
+    return result_from_wire(payload)

@@ -12,7 +12,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.engine import BackendConfig, BackendInfo, QueryEngine, SimilarityBackend
+from repro.engine import BackendInfo, QueryEngine, SimilarityBackend
 from repro.engine.engine import PAIR_AMORTIZE_THRESHOLD
 from repro.exceptions import ParameterError
 from repro.graphs import generators
@@ -169,6 +169,25 @@ class TestBatchedExecution:
         assert engine.backend.source_calls == 2
         assert engine.statistics.top_k_queries == 4
 
+    def test_top_k_many_counts_as_one_batch_call(self, engine):
+        engine.top_k_many([1, 2, 1], k=3)
+        assert engine.statistics.batch_calls == 1
+
+    def test_top_k_many_dedupes_even_without_cache(self, graph):
+        engine = QueryEngine(CountingBackend(graph), cache_size=0)
+        results = engine.top_k_many([4, 4, 4], k=3)
+        assert engine.backend.source_calls == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_top_k_many_matches_top_k(self, engine, graph):
+        batched = engine.top_k_many([3, 7], k=4)
+        fresh = QueryEngine(CountingBackend(graph), cache_size=4)
+        assert batched == [fresh.top_k(3, 4), fresh.top_k(7, 4)]
+
+    def test_top_k_many_rejects_bad_k(self, engine):
+        with pytest.raises(ParameterError):
+            engine.top_k_many([1, 2], k=0)
+
 
 class TestStatistics:
     def test_counters_by_kind(self, engine):
@@ -189,6 +208,23 @@ class TestStatistics:
         assert payload["total_queries"] == 1
         assert payload["backend"] == "counting"
         assert 0.0 <= payload["cache_hit_rate"] <= 1.0
+
+    def test_as_dict_exposes_recent_queries(self, engine):
+        engine.single_source(0)
+        engine.single_source(0)
+        payload = json.loads(json.dumps(engine.statistics.as_dict()))
+        records = payload["recent_queries"]
+        assert [record["cache_hit"] for record in records] == [False, True]
+        assert all(record["kind"] == "single_source" for record in records)
+        assert all(record["seconds"] >= 0.0 for record in records)
+
+    def test_as_dict_recent_queries_stay_bounded(self, engine):
+        from repro.engine.engine import MAX_QUERY_RECORDS
+
+        for _ in range(MAX_QUERY_RECORDS + 10):
+            engine.single_pair(0, 1)
+        payload = engine.statistics.as_dict()
+        assert len(payload["recent_queries"]) == MAX_QUERY_RECORDS
 
     def test_recent_queries_record_latency_and_provenance(self, engine):
         engine.single_source(0)

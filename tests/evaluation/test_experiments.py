@@ -18,15 +18,19 @@ SCALE = 0.05
 DATASETS = ("GrQc",)
 
 
+def _load_graph():
+    return experiments._service(SCALE, CONFIG).open_dataset("GrQc").graph
+
+
 class TestBuildMethod:
     def test_known_methods(self):
-        graph = experiments._load("GrQc", SCALE, 0)
+        graph = _load_graph()
         for name in ("SLING", "Linearize", "MC"):
             method = experiments.build_method(name, graph, CONFIG)
             assert 0.0 <= method.single_pair(0, 1) <= 1.0
 
     def test_unknown_method_rejected(self):
-        graph = experiments._load("GrQc", SCALE, 0)
+        graph = _load_graph()
         with pytest.raises(ParameterError):
             experiments.build_method("FooBar", graph, CONFIG)
 

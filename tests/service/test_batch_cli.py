@@ -1,0 +1,154 @@
+"""End-to-end tests for the ``repro batch`` JSONL sub-command."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+#: Fast settings shared by every batch invocation.
+FAST = ["--scale", "0.05", "--epsilon", "0.1", "--mc-walks", "30"]
+
+
+def run_batch(capsys, lines, *extra):
+    """Run ``repro batch`` over a stdin payload; return (exit, envelopes, err)."""
+    import sys
+
+    stdin = sys.stdin
+    sys.stdin = io.StringIO("\n".join(lines) + "\n")
+    try:
+        exit_code = main(["batch", *FAST, *extra])
+    finally:
+        sys.stdin = stdin
+    captured = capsys.readouterr()
+    envelopes = [json.loads(line) for line in captured.out.splitlines() if line]
+    return exit_code, envelopes, captured.err
+
+
+class TestBatchHappyPath:
+    def test_single_top_k_request(self, capsys):
+        exit_code, envelopes, err = run_batch(
+            capsys,
+            ['{"kind":"top_k","dataset":"GrQc","node":3,"k":5}'],
+            "--backend", "auto",
+        )
+        assert exit_code == 0
+        assert len(envelopes) == 1
+        envelope = envelopes[0]
+        assert envelope["ok"] is True
+        assert envelope["kind"] == "top_k"
+        assert envelope["dataset"] == "GrQc"
+        assert len(envelope["value"]) == 5
+        assert envelope["value"][0]["rank"] == 1
+        assert envelope["backend"] == "sling"
+        assert envelope["plan"]["backend"] == "sling"
+        assert envelope["seconds"] > 0.0
+        assert "1/1 ok" in err
+
+    def test_every_kind_and_blank_lines(self, capsys):
+        exit_code, envelopes, _ = run_batch(
+            capsys,
+            [
+                '{"kind":"single_pair","dataset":"GrQc","node_u":1,"node_v":2}',
+                "",
+                '{"kind":"single_source","dataset":"GrQc","node":1}',
+                '{"kind":"top_k","dataset":"GrQc","node":1,"k":3}',
+                '{"kind":"all_pairs","dataset":"GrQc"}',
+            ],
+        )
+        assert exit_code == 0
+        assert [envelope["kind"] for envelope in envelopes] == [
+            "single_pair", "single_source", "top_k", "all_pairs",
+        ]
+        assert all(envelope["ok"] for envelope in envelopes)
+
+    def test_sessions_are_reused_across_lines(self, capsys):
+        request = '{"kind":"single_source","dataset":"GrQc","node":4}'
+        exit_code, envelopes, _ = run_batch(capsys, [request, request])
+        assert exit_code == 0
+        assert envelopes[0]["cache_hit"] is False
+        assert envelopes[1]["cache_hit"] is True
+
+    def test_file_input_and_output(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        responses = tmp_path / "responses.jsonl"
+        requests.write_text(
+            '{"kind":"top_k","dataset":"GrQc","node":3,"k":2}\n'
+            '{"kind":"single_pair","dataset":"GrQc","node_u":0,"node_v":1}\n',
+            encoding="utf-8",
+        )
+        exit_code = main(
+            ["batch", *FAST, "--input", str(requests), "--output", str(responses)]
+        )
+        assert exit_code == 0
+        assert capsys.readouterr().out == ""  # everything went to the file
+        lines = responses.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["ok"] for line in lines)
+
+
+class TestBatchErrorEnvelopes:
+    def test_bad_lines_yield_envelopes_and_nonzero_exit(self, capsys):
+        exit_code, envelopes, err = run_batch(
+            capsys,
+            [
+                "this is not json",
+                '{"kind":"top_k","dataset":"NotADataset","node":3,"k":5}',
+                '{"kind":"top_k","dataset":"GrQc","node":3,"k":5}',
+                '{"kind":"top_k","dataset":"GrQc","node":99999999,"k":5}',
+                '{"kind":"top_k","dataset":"GrQc","node":3,"k":-1}',
+            ],
+        )
+        assert exit_code == 1
+        assert [envelope["ok"] for envelope in envelopes] == [
+            False, False, True, False, False,
+        ]
+        codes = [e["error"]["code"] for e in envelopes if not e["ok"]]
+        assert codes == [
+            "bad_request", "unknown_dataset", "node_out_of_range", "bad_request",
+        ]
+        assert "1/5 ok" in err and "4 error(s)" in err
+
+    def test_no_traceback_on_garbage(self, capsys):
+        exit_code, envelopes, err = run_batch(capsys, ["{{{{", "[1,2]", '"str"'])
+        assert exit_code == 1
+        assert len(envelopes) == 3
+        assert all(not envelope["ok"] for envelope in envelopes)
+        assert "Traceback" not in err
+
+    def test_stats_flag_dumps_service_statistics(self, capsys):
+        exit_code, _, err = run_batch(
+            capsys,
+            ['{"kind":"single_source","dataset":"GrQc","node":1}'],
+            "--stats",
+        )
+        assert exit_code == 0
+        assert '"totals"' in err
+
+
+class TestBatchFiles:
+    def test_missing_input_file_fails_cleanly(self, capsys):
+        exit_code = main(["batch", *FAST, "--input", "/no/such/file.jsonl"])
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "cannot read --input" in err
+        assert "Traceback" not in err
+
+    def test_unwritable_output_fails_cleanly(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"kind":"all_pairs","dataset":"GrQc"}\n')
+        exit_code = main(
+            ["batch", *FAST, "--input", str(requests),
+             "--output", str(tmp_path / "missing-dir" / "out.jsonl")]
+        )
+        assert exit_code == 1
+        assert "cannot write --output" in capsys.readouterr().err
+
+
+class TestBatchParser:
+    def test_batch_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--backend", "FooBar"])

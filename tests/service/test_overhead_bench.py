@@ -1,0 +1,65 @@
+"""The service-overhead benchmark must produce a sane, JSON-able payload.
+
+Timing ratios are hardware-dependent, so only structural properties and the
+one robust ordering (cold backend queries dwarf the envelope cost) are
+asserted here; the actual overhead numbers are the benchmark's output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        import bench_service_overhead
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    return bench_service_overhead
+
+
+@pytest.fixture(scope="module")
+def payload(bench_module):
+    return bench_module.run_benchmark(
+        dataset="GrQc", scale=0.05, epsilon=0.1, num_queries=60,
+        distinct_sources=6, k=5, repeats=2, seed=0,
+    )
+
+
+class TestServiceOverheadBenchmark:
+    def test_payload_is_json_serialisable(self, payload):
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["benchmark"] == "service_overhead"
+        assert set(decoded["cells"]) == {
+            "single_pair_warm", "top_k_warm", "single_source_cold",
+        }
+
+    def test_every_cell_reports_both_paths(self, payload):
+        for cell in payload["cells"].values():
+            assert cell["direct_microseconds_per_query"] > 0.0
+            assert cell["service_microseconds_per_query"] > 0.0
+
+    def test_overheads_mirror_cells(self, payload):
+        for name, cell in payload["cells"].items():
+            assert payload["overheads"][name] == cell["overhead_fraction"]
+            assert payload["meets_target"][name] == (
+                cell["overhead_fraction"] < payload["target_fraction"]
+            )
+
+    def test_cold_queries_dwarf_the_envelope(self, payload):
+        # A cold single-source computation costs hundreds of microseconds;
+        # the envelope costs a few.  Even on noisy CI the cold overhead must
+        # stay far below the warm single-pair overhead's scale.
+        assert payload["cells"]["single_source_cold"][
+            "direct_microseconds_per_query"
+        ] > 10 * payload["cells"]["single_pair_warm"][
+            "direct_microseconds_per_query"
+        ]

@@ -1,0 +1,116 @@
+"""JSONL wire-protocol round-trips for requests and result envelopes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import WireFormatError
+from repro.service import (
+    AllPairsQuery,
+    QueryError,
+    QueryResult,
+    SinglePairQuery,
+    SingleSourceQuery,
+    TopKQuery,
+    decode_request,
+    decode_result,
+    encode_request,
+    encode_result,
+    result_from_wire,
+)
+
+SUCCESS_ENVELOPES = [
+    QueryResult.success(
+        kind="single_pair", dataset="GrQc", value=0.25, backend="sling",
+        plan={"backend": "sling", "reason": "r"}, seconds=0.001, cache_hit=True,
+    ),
+    QueryResult.success(
+        kind="single_source", dataset="GrQc", value=[0.0, 0.5, 1.0],
+        backend="power", plan=None, seconds=0.2, cache_hit=False,
+    ),
+    QueryResult.success(
+        kind="top_k", dataset="AS",
+        value=[{"rank": 1, "node": 4, "score": 0.9}],
+        backend="sling", plan={"backend": "sling"}, seconds=0.01, cache_hit=False,
+    ),
+    QueryResult.success(
+        kind="all_pairs", dataset="AS", value=[[0.0, 1.0], [1.0, 0.0]],
+        backend="naive", plan=None, seconds=1.5, cache_hit=None,
+    ),
+]
+
+
+class TestRequestLines:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            SinglePairQuery("GrQc", 3, 5),
+            SingleSourceQuery("GrQc", 3),
+            TopKQuery("GrQc", node=3, k=5),
+            AllPairsQuery("GrQc"),
+        ],
+        ids=lambda q: q.kind,
+    )
+    def test_encode_decode_round_trip(self, query):
+        line = encode_request(query)
+        assert json.loads(line)["kind"] == query.kind  # one JSON object per line
+        assert "\n" not in line
+        assert decode_request(line) == query
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(WireFormatError):
+            decode_request("{not json")
+
+    def test_decode_rejects_non_object_lines(self):
+        with pytest.raises(WireFormatError):
+            decode_request("[1, 2, 3]")
+
+
+class TestResultLines:
+    @pytest.mark.parametrize("result", SUCCESS_ENVELOPES, ids=lambda r: r.kind)
+    def test_success_round_trip_every_kind(self, result):
+        line = encode_result(result)
+        assert "\n" not in line
+        assert decode_result(line) == result
+
+    def test_error_round_trip(self):
+        result = QueryResult.failure(
+            "unknown_dataset", "no such dataset", kind="top_k",
+            dataset="Nope", seconds=0.1,
+        )
+        decoded = decode_result(encode_result(result))
+        assert decoded == result
+        assert decoded.error == QueryError("unknown_dataset", "no such dataset")
+        assert not decoded.ok
+
+    def test_error_wire_shape(self):
+        payload = QueryResult.failure("bad_request", "boom").to_wire()
+        assert payload["ok"] is False
+        assert payload["error"] == {"code": "bad_request", "message": "boom"}
+        assert "value" not in payload  # error envelopes carry no value fields
+
+    def test_success_wire_shape(self):
+        payload = SUCCESS_ENVELOPES[0].to_wire()
+        assert payload["ok"] is True
+        assert "error" not in payload
+        assert set(payload) == {
+            "ok", "kind", "dataset", "seconds", "value", "backend", "plan",
+            "cache_hit",
+        }
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "nope",
+            {},
+            {"ok": "yes"},
+            {"ok": False},  # error envelope without an error object
+            {"ok": False, "error": "boom"},
+            {"ok": False, "error": {"message": "no code"}},
+        ],
+    )
+    def test_malformed_result_payloads_raise(self, payload):
+        with pytest.raises(WireFormatError):
+            result_from_wire(payload)
