@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 import json
 import struct
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -225,6 +226,9 @@ class DiskBackedIndex:
         self._targets = data["targets"]
         self._values = data["values"]
         self._reads = 0
+        # The packed arrays are read-only at query time, so concurrent queries
+        # are safe; only this I/O counter is mutable and needs the lock.
+        self._reads_lock = threading.Lock()
 
     @property
     def parameters(self) -> SlingParameters:
@@ -238,7 +242,8 @@ class DiskBackedIndex:
 
     def _load_set(self, node: int) -> HittingProbabilitySet:
         self._graph.in_degree(node)  # validates the node id
-        self._reads += 1
+        with self._reads_lock:
+            self._reads += 1
         packed = {
             "offsets": self._offsets,
             "levels": self._levels,

@@ -112,6 +112,46 @@ class TestDiskBackedIndex:
         disk.single_source(0)
         assert disk.num_set_reads == 3
 
+    def test_io_accounting_has_no_lost_updates_under_threads(
+        self, graph, built_index, tmp_path
+    ):
+        """Regression: the read counter used to be an unlocked ``+= 1``.
+
+        Hammering one disk-backed index from several threads must account
+        every hitting-set read exactly once (two per pair query), and the
+        concurrently-computed scores must match the sequential answers.
+        """
+        import threading
+
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        pairs = [(u, (u + 7) % graph.num_nodes) for u in range(graph.num_nodes)]
+        expected = {pair: disk.single_pair(*pair) for pair in pairs}
+        baseline_reads = disk.num_set_reads
+
+        num_threads, rounds = 8, 25
+        observed: list[dict] = [dict() for _ in range(num_threads)]
+        barrier = threading.Barrier(num_threads)
+
+        def hammer(slot: int) -> None:
+            barrier.wait()
+            for _ in range(rounds):
+                for pair in pairs:
+                    observed[slot][pair] = disk.single_pair(*pair)
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert disk.num_set_reads == baseline_reads + 2 * num_threads * rounds * len(pairs)
+        for slot in range(num_threads):
+            assert observed[slot] == expected
+
     def test_graph_mismatch_rejected(self, built_index, tmp_path):
         directory = save_index(built_index, tmp_path / "index")
         with pytest.raises(StorageError):
