@@ -9,7 +9,9 @@ without writing Python::
     repro query --dataset GrQc --source 3 --top 10
     repro query --dataset GrQc --source 3 --target 5 --json
     repro batch --input requests.jsonl
+    repro batch --input requests.jsonl --workers 4
     printf '{"kind":"top_k","dataset":"GrQc","node":3,"k":5}\\n' | repro batch
+    repro serve --workers 4 < requests.jsonl
 
 (``python -m repro.cli`` works identically when the console script is not
 installed.)  Every sub-command accepts ``--scale`` (stand-in graph size
@@ -20,17 +22,26 @@ Queries go through the :class:`~repro.service.SimRankService` layer:
 (from stdin or ``--input``) through the service and emits one JSONL
 :class:`~repro.service.QueryResult` envelope per line — malformed or
 unanswerable requests become error envelopes, never tracebacks, and the exit
-status is non-zero when any line failed.  ``--backend`` selects any
-registered backend (or ``auto`` to let the planner route from
-``--memory-budget-mb``), and ``--json`` switches ``query`` to
-machine-readable output including the query plan and engine statistics.
+status is non-zero when any line failed.  ``batch --workers N`` runs the
+batch over a :class:`~repro.service.ParallelExecutor` worker pool (ordered
+output, identical envelopes-per-line contract); ``serve`` is the long-lived
+variant — a stdin/stdout JSONL loop that keeps every touched dataset session
+open, answers requests in arrival order with up to ``--workers`` in flight,
+and exits 0 on EOF.  ``--backend`` selects any registered backend (or
+``auto`` to let the planner route from ``--memory-budget-mb``), and
+``--json`` switches ``query`` to machine-readable output including the query
+plan and engine statistics.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import queue
+import select
 import sys
+import threading
 from typing import Sequence, TextIO
 
 from .engine import BackendConfig, backend_names
@@ -39,6 +50,7 @@ from .evaluation.experiments import MethodConfig
 from .graphs import datasets
 from .service import (
     ERROR_BAD_REQUEST,
+    ParallelExecutor,
     QueryResult,
     ServiceConfig,
     SimRankService,
@@ -100,6 +112,32 @@ def _nonnegative_int(value: str) -> int:
     if parsed < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
     return parsed
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _add_workers_option(
+    parser: argparse.ArgumentParser, *, windowed_note: bool = False
+) -> None:
+    note = (
+        "; dedupes duplicate requests per window when reading --input FILE, "
+        "and streams per line (engine cache still serving duplicates) when "
+        "reading stdin"
+        if windowed_note
+        else ""
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=f"worker threads executing requests concurrently (default: 1){note}",
+    )
 
 
 def _add_service_options(parser: argparse.ArgumentParser) -> None:
@@ -212,6 +250,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dump aggregate service statistics as JSON on stderr afterwards",
     )
+    _add_workers_option(batch, windowed_note=True)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-lived JSONL loop: requests on stdin, envelopes on stdout",
+    )
+    _add_common_options(serve)
+    _add_service_options(serve)
+    _add_workers_option(serve)
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="dump aggregate service statistics as JSON on stderr at shutdown",
+    )
 
     return parser
 
@@ -323,7 +375,169 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "batch":
         return _run_batch(args)
 
+    if args.command == "serve":
+        return _run_serve(args)
+
     return 1  # pragma: no cover - unreachable with required=True
+
+
+def _pump_jsonl(
+    executor: ParallelExecutor,
+    input_stream: TextIO,
+    output_stream: TextIO,
+) -> tuple[int, int, list[BaseException]]:
+    """Pipelined ordered request/response pump shared by ``serve`` and the
+    stdin path of ``batch --workers``.
+
+    One envelope per request line, written **in arrival order** and flushed
+    as soon as it is ready, with up to ``workers`` requests executing behind
+    the head of the line — so a lockstep producer (write one request, wait
+    for its response) never deadlocks.  Returns ``(ok_count, error_count,
+    writer_errors)``; a failed write (the consumer closed the output) stops
+    the pump instead of killing it.  When the input has a real file
+    descriptor, the reader polls it, so an output failure also unblocks a
+    reader waiting on a producer that will never send another line.
+    """
+    ok_count = 0
+    error_count = 0
+    # Bounded handoff: the reader blocks once enough requests are in flight,
+    # and the writer emits responses strictly in arrival order.
+    pending: queue.Queue = queue.Queue(maxsize=executor.workers * 4)
+    writer_errors: list[BaseException] = []
+    writer_failed = threading.Event()
+
+    def write_responses() -> None:
+        nonlocal ok_count, error_count
+        # After a write failure the writer must keep *draining* the queue
+        # rather than die: a dead consumer would leave the reader blocked in
+        # ``put()`` on a full queue with nothing ever taking items out.
+        while True:
+            future = pending.get()
+            if future is None:
+                return
+            if writer_failed.is_set():
+                continue
+            try:
+                result = future.result()
+                print(encode_result(result), file=output_stream, flush=True)
+            except BaseException as exc:  # noqa: BLE001 - must keep draining
+                writer_errors.append(exc)
+                writer_failed.set()
+                continue
+            if result.ok:
+                ok_count += 1
+            else:
+                error_count += 1
+
+    def submit(line: str) -> None:
+        if line.strip():
+            pending.put(executor.submit_line(line))
+
+    def read_requests() -> None:
+        try:
+            fd = input_stream.fileno()
+        except (OSError, ValueError, AttributeError):
+            fd = None  # test harness streams; plain iteration is fine there
+        if fd is not None:
+            # Probe the polling machinery: on Windows select() only accepts
+            # sockets (and set_blocking can reject console handles), so fall
+            # back to plain blocking iteration there rather than crash.
+            try:
+                os.set_blocking(fd, False)
+                select.select([fd], [], [], 0)
+            except (OSError, ValueError):
+                try:
+                    os.set_blocking(fd, True)
+                except OSError:
+                    pass
+                fd = None
+        if fd is None:
+            # No pollable descriptor (Windows pipes, in-process test
+            # streams): read on a daemon thread so an output failure still
+            # unblocks shutdown — the daemon may stay parked in its blocking
+            # read, but the process no longer waits on it.
+            def blocking_reader() -> None:
+                for line in input_stream:
+                    if writer_failed.is_set():
+                        return
+                    try:
+                        submit(line)
+                    except Exception:  # noqa: BLE001 - raced executor close
+                        # The pump already returned and shut the executor
+                        # down; we are in teardown, and a daemon-thread
+                        # traceback would break the no-traceback contract.
+                        return
+
+            reader = threading.Thread(
+                target=blocking_reader, name="repro-jsonl-reader", daemon=True
+            )
+            reader.start()
+            while reader.is_alive() and not writer_failed.is_set():
+                reader.join(timeout=0.1)
+            return
+        # Poll the raw descriptor so a dead consumer (writer_failed)
+        # interrupts a reader that would otherwise block forever on a
+        # producer waiting for the response we can no longer deliver.  Lines
+        # are split here, at the byte level: select() only reports the
+        # kernel buffer, so mixing it with a buffered readline() would stall
+        # on lines already sitting in the TextIO buffer.
+        tail = b""
+        try:
+            while not writer_failed.is_set():
+                ready, _, _ = select.select([fd], [], [], 0.1)
+                if not ready:
+                    continue
+                try:
+                    chunk = os.read(fd, 65536)
+                except BlockingIOError:  # raced another consumer; re-poll
+                    continue
+                if chunk == b"":  # EOF
+                    break
+                tail += chunk
+                *lines, tail = tail.split(b"\n")
+                for raw in lines:
+                    submit(raw.decode("utf-8", errors="replace"))
+            if tail and not writer_failed.is_set():  # unterminated last line
+                submit(tail.decode("utf-8", errors="replace"))
+        finally:
+            try:
+                os.set_blocking(fd, True)
+            except OSError:  # pragma: no cover - fd already gone
+                pass
+
+    writer = threading.Thread(target=write_responses, name="repro-jsonl-writer")
+    writer.start()
+    try:
+        read_requests()
+    finally:
+        pending.put(None)
+        writer.join()
+    return ok_count, error_count, writer_errors
+
+
+def _detach_stdout_after_broken_pipe() -> None:
+    """Point the stdout file descriptor at /dev/null after a broken pipe so
+    the interpreter-exit flush cannot raise a second time (best effort —
+    a no-op under test harnesses whose stdout has no real descriptor)."""
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    except Exception:  # noqa: BLE001 - shutdown path, nothing to do
+        pass
+
+
+def _report_output_failure(
+    command: str, exc: BaseException, *, stdout_target: bool
+) -> None:
+    """One shutdown path for a pump whose output consumer went away,
+    shared by ``batch`` and ``serve`` so their behavior cannot diverge."""
+    if stdout_target and isinstance(exc, BrokenPipeError):
+        _detach_stdout_after_broken_pipe()
+    print(
+        f"{command}: output stream failed ({type(exc).__name__}: {exc}); "
+        "shutting down",
+        file=sys.stderr,
+    )
 
 
 def _fail_loudly(result: QueryResult) -> int:
@@ -393,15 +607,46 @@ def _run_batch(args: argparse.Namespace) -> int:
     """The ``batch`` sub-command: JSONL requests in, JSONL envelopes out.
 
     Every input line yields exactly one envelope line; lines that cannot be
-    parsed or answered become error envelopes.  Returns 0 when every request
-    succeeded, 1 otherwise (a summary goes to stderr either way).
+    parsed or answered become error envelopes.  With ``--workers N > 1`` the
+    whole batch runs over a :class:`~repro.service.ParallelExecutor` — the
+    output order and the envelope-per-line contract are identical to the
+    sequential path.  Returns 0 when every request succeeded, 1 otherwise
+    (a summary goes to stderr either way).
     """
     service = _service(args)
     ok_count = 0
     error_count = 0
+    output_failed = False
 
     def run(input_stream: TextIO, output_stream: TextIO) -> None:
-        nonlocal ok_count, error_count
+        nonlocal ok_count, error_count, output_failed
+        if args.workers > 1:
+            with ParallelExecutor(service, workers=args.workers) as executor:
+                if input_stream is sys.stdin:
+                    # A pipe producer may be lockstep (send one request, wait
+                    # for its response), so stream per line via the pump;
+                    # in-flight concurrency still comes from the pool.
+                    ok_count, error_count, writer_errors = _pump_jsonl(
+                        executor, input_stream, output_stream
+                    )
+                    if writer_errors:
+                        _report_output_failure(
+                            "batch",
+                            writer_errors[0],
+                            stdout_target=output_stream is sys.stdout,
+                        )
+                        output_failed = True
+                    return
+                # File input cannot deadlock on the producer side: process
+                # it in bounded windows so duplicates dedupe within each
+                # window and memory stays bounded.
+                for result in executor.run_stream(input_stream):
+                    print(encode_result(result), file=output_stream, flush=True)
+                    if result.ok:
+                        ok_count += 1
+                    else:
+                        error_count += 1
+            return
         for line in input_stream:
             stripped = line.strip()
             if not stripped:
@@ -441,7 +686,16 @@ def _run_batch(args: argparse.Namespace) -> int:
             )
             return 1
         try:
-            run(input_stream, output_stream)
+            try:
+                run(input_stream, output_stream)
+            except BrokenPipeError:
+                # The consumer closed the output early (``repro batch | head``):
+                # stop cleanly — the contract is envelopes or a message on
+                # stderr, never a traceback.
+                if output_stream is sys.stdout:
+                    _detach_stdout_after_broken_pipe()
+                print("batch: output stream closed early", file=sys.stderr)
+                return 1
         finally:
             if output_stream is not sys.stdout:
                 output_stream.close()
@@ -449,6 +703,8 @@ def _run_batch(args: argparse.Namespace) -> int:
         if input_stream is not sys.stdin:
             input_stream.close()
 
+    if output_failed:
+        return 1
     total = ok_count + error_count
     print(
         f"batch: {ok_count}/{total} ok, {error_count} error(s); "
@@ -458,6 +714,40 @@ def _run_batch(args: argparse.Namespace) -> int:
     if args.stats:
         print(json.dumps(service.statistics(), indent=2), file=sys.stderr)
     return 0 if error_count == 0 else 1
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` sub-command: a long-lived stdin/stdout JSONL loop.
+
+    Requests stream in one JSONL line at a time; every request gets exactly
+    one envelope line, **in arrival order**, flushed as soon as it is ready.
+    Up to ``--workers`` requests execute concurrently behind the head of the
+    line, and every dataset session touched stays open for the life of the
+    process, so requests against different datasets interleave freely on one
+    warm service.  EOF drains the in-flight requests and exits 0 (this is a
+    server loop — client errors become envelopes, not exit codes); the
+    summary and optional ``--stats`` dump go to stderr.
+    """
+    service = _service(args)
+    with ParallelExecutor(service, workers=args.workers) as executor:
+        ok_count, error_count, writer_errors = _pump_jsonl(
+            executor, sys.stdin, sys.stdout
+        )
+
+    if writer_errors:
+        _report_output_failure("serve", writer_errors[0], stdout_target=True)
+        return 1
+
+    total = ok_count + error_count
+    print(
+        f"serve: {ok_count}/{total} ok, {error_count} error(s); "
+        f"workers: {args.workers}; "
+        f"datasets: {', '.join(service.list_datasets()) or 'none'}",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(json.dumps(service.statistics(), indent=2), file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":

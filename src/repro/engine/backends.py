@@ -93,6 +93,14 @@ class BackendInfo:
     build_cost: str = "index"
     #: Coarse per-query cost class: "constant" | "linear" | "matrix-row".
     query_cost: str = "constant"
+    #: Whether queries on a *built* backend are safe to run concurrently.
+    #: Every bundled backend is read-only after ``build`` (walk fingerprints,
+    #: score matrices, hitting sets, and the disk index's packed arrays are
+    #: never mutated by a query), so they all declare ``True``; a backend that
+    #: mutates per-query state (query-time RNG, unlocked memoisation, a shared
+    #: file handle) must declare ``False`` and the engine will serialise its
+    #: queries behind a lock instead of running them in parallel.
+    thread_safe_queries: bool = True
 
 
 class SimilarityBackend(abc.ABC):

@@ -17,13 +17,36 @@ things no individual backend provides:
 Derived queries route through the cache: ``top_k`` ranks a cached
 single-source vector, and a ``single_pair`` whose source vector is already
 cached is answered from it without touching the backend.
+
+Thread safety
+-------------
+An engine may be shared by concurrent query threads (the
+:class:`~repro.service.ParallelExecutor` and ``repro serve`` do exactly
+that).  The contract is:
+
+* every public query method is safe to call from any number of threads;
+* the LRU cache and the aggregate statistics are guarded by one internal
+  lock, so counters never lose updates and evictions never corrupt the
+  ordered dict — backend computation happens *outside* the lock, so cache
+  misses execute concurrently (two threads missing on the same source may
+  both compute it; the stores are idempotent);
+* backends whose :class:`~repro.engine.backends.BackendInfo` declares
+  ``thread_safe_queries=False`` are serialised behind a dedicated backend
+  lock, so a backend that mutates internal state per query is still safe
+  (merely not parallel);
+* :attr:`statistics` is the live, mutating object — read it for cheap
+  monitoring; use :meth:`statistics_snapshot` for a consistent copy;
+* :attr:`last_query_record` is **per-thread**: it describes the most recent
+  query *of the calling thread*, which is how the service layer attributes
+  a cache hit to the request it is answering without racing other threads.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -168,6 +191,14 @@ class QueryEngine:
         self._cache_size = cache_size
         self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._stats = EngineStatistics(backend=backend.name)
+        # Guards the cache and the statistics; never held across a backend
+        # computation, so concurrent misses overlap.
+        self._lock = threading.RLock()
+        # Serialises queries against backends that mutate per-query state.
+        self._backend_lock: threading.Lock | None = (
+            None if backend.info.thread_safe_queries else threading.Lock()
+        )
+        self._tls = threading.local()
         #: The routing decision that produced this engine (set by
         #: :func:`repro.engine.planner.create_engine`); ``None`` when the
         #: backend was chosen by hand.
@@ -186,16 +217,55 @@ class QueryEngine:
 
     @property
     def statistics(self) -> EngineStatistics:
-        """Aggregate statistics since construction (or the last reset)."""
+        """Aggregate statistics since construction (or the last reset).
+
+        This is the live object — other threads may be updating it; use
+        :meth:`statistics_snapshot` when a consistent view is needed.
+        """
         return self._stats
+
+    def statistics_snapshot(self) -> EngineStatistics:
+        """A consistent copy of the statistics, safe to read and serialise
+        while other threads keep querying."""
+        with self._lock:
+            return replace(
+                self._stats, recent_queries=list(self._stats.recent_queries)
+            )
+
+    @property
+    def last_query_record(self) -> QueryRecord | None:
+        """The most recent query record *of the calling thread* (or ``None``).
+
+        Thread-local by design: under concurrent execution the aggregate
+        counters interleave, so "did *my* query hit the cache" can only be
+        answered per thread.
+        """
+        return getattr(self._tls, "last_record", None)
 
     def reset_statistics(self) -> None:
         """Zero every counter; the cache contents are kept."""
-        self._stats = EngineStatistics(backend=self._backend.name)
+        with self._lock:
+            self._stats = EngineStatistics(backend=self._backend.name)
 
     def clear_cache(self) -> None:
         """Drop every cached single-source vector."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Backend access (serialised when the backend is not thread-safe)
+    # ------------------------------------------------------------------ #
+    def _backend_single_source(self, node: int) -> np.ndarray:
+        if self._backend_lock is None:
+            return np.asarray(self._backend.single_source(node), dtype=np.float64)
+        with self._backend_lock:
+            return np.asarray(self._backend.single_source(node), dtype=np.float64)
+
+    def _backend_single_pair(self, node_u: int, node_v: int) -> float:
+        if self._backend_lock is None:
+            return float(self._backend.single_pair(node_u, node_v))
+        with self._backend_lock:
+            return float(self._backend.single_pair(node_u, node_v))
 
     # ------------------------------------------------------------------ #
     # Cache plumbing
@@ -203,43 +273,49 @@ class QueryEngine:
     def _cache_lookup(self, node: int) -> np.ndarray | None:
         if self._cache_size == 0:
             return None
-        vector = self._cache.get(node)
-        if vector is not None:
-            self._cache.move_to_end(node)
-            self._stats.cache_hits += 1
-            return vector
-        self._stats.cache_misses += 1
-        return None
+        with self._lock:
+            vector = self._cache.get(node)
+            if vector is not None:
+                self._cache.move_to_end(node)
+                self._stats.cache_hits += 1
+                return vector
+            self._stats.cache_misses += 1
+            return None
 
     def _cache_store(self, node: int, vector: np.ndarray) -> None:
         if self._cache_size == 0:
             return
-        self._cache[node] = vector
-        self._cache.move_to_end(node)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
-            self._stats.cache_evictions += 1
+        with self._lock:
+            self._cache[node] = vector
+            self._cache.move_to_end(node)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+                self._stats.cache_evictions += 1
 
     def cached_nodes(self) -> list[int]:
         """Source nodes currently cached, oldest first."""
-        return list(self._cache)
+        with self._lock:
+            return list(self._cache)
 
-    def _source_vector(self, node: int) -> np.ndarray:
-        """The single-source vector for ``node``, via the cache.
+    def _source_vector(self, node: int) -> tuple[np.ndarray, bool]:
+        """``(vector, cache_hit)`` for ``node``, via the cache.
 
+        The hit flag is returned explicitly rather than inferred from counter
+        deltas, which would attribute other threads' hits to this query.
         Returns the cache-owned array; callers must copy before mutating.
         """
         node = int(node)
         vector = self._cache_lookup(node)
-        if vector is None:
-            vector = np.asarray(self._backend.single_source(node), dtype=np.float64)
-            self._cache_store(node, vector)
-        return vector
+        if vector is not None:
+            return vector, True
+        vector = self._backend_single_source(node)
+        self._cache_store(node, vector)
+        return vector, False
 
     def _batch_source_vector(
         self, node: int, local: dict[int, np.ndarray]
-    ) -> np.ndarray:
-        """The single-source vector for one member of a batch.
+    ) -> tuple[np.ndarray, bool]:
+        """``(vector, cache_hit)`` for one member of a batch.
 
         With the cache enabled this is just :meth:`_source_vector`; with it
         disabled, duplicates within the batch are still served from the
@@ -250,43 +326,55 @@ class QueryEngine:
         if self._cache_size == 0:
             vector = local.get(node)
             if vector is not None:
-                self._stats.cache_hits += 1
-                return vector
-            self._stats.cache_misses += 1
-            vector = np.asarray(self._backend.single_source(node), dtype=np.float64)
+                with self._lock:
+                    self._stats.cache_hits += 1
+                return vector, True
+            with self._lock:
+                self._stats.cache_misses += 1
+            vector = self._backend_single_source(node)
             local[node] = vector
-            return vector
+            return vector, False
         return self._source_vector(node)
 
     # ------------------------------------------------------------------ #
     # Single queries
     # ------------------------------------------------------------------ #
     def single_pair(self, node_u: int, node_v: int) -> float:
-        """SimRank of one pair; answered from a cached source vector if present."""
+        """SimRank of one pair; answered from a cached source vector if present.
+
+        The pair is canonicalised (smaller node first — SimRank is
+        symmetric), and only the canonical source's cached vector may answer
+        it.  This makes the result a deterministic function of the unordered
+        pair and of *whether* that one vector is cached — never of which
+        endpoint happened to be cached first, which would let concurrent
+        execution order leak into query values (score matrices are not
+        bitwise symmetric, and SLING's single-source push and Algorithm 3
+        agree only within the accuracy target).  It also makes
+        ``single_pair(u, v)`` and ``single_pair(v, u)`` bitwise equal.
+        """
         start = time.perf_counter()
         node_u, node_v = int(node_u), int(node_v)
-        cached = self._cache.get(node_u)
-        if cached is None and node_u != node_v:
-            cached = self._cache.get(node_v)
+        if node_v < node_u:
+            node_u, node_v = node_v, node_u
+        score: float | None = None
+        with self._lock:
+            cached = self._cache.get(node_u)
             if cached is not None:
-                node_u, node_v = node_v, node_u
-        if cached is not None:
-            self._cache.move_to_end(node_u)
-            self._stats.cache_hits += 1
-            score = float(cached[node_v])
-        else:
-            if self._cache_size > 0:
+                self._cache.move_to_end(node_u)
+                self._stats.cache_hits += 1
+                score = float(cached[node_v])
+            elif self._cache_size > 0:
                 self._stats.cache_misses += 1
-            score = float(self._backend.single_pair(node_u, node_v))
+        if score is None:
+            score = self._backend_single_pair(node_u, node_v)
         self._finish("single_pair", start, cache_hit=cached is not None)
         return score
 
     def single_source(self, node: int) -> np.ndarray:
         """SimRank from ``node`` to every node; the result is caller-owned."""
         start = time.perf_counter()
-        before = self._stats.cache_hits
-        vector = self._source_vector(node)
-        self._finish("single_source", start, cache_hit=self._stats.cache_hits > before)
+        vector, hit = self._source_vector(node)
+        self._finish("single_source", start, cache_hit=hit)
         return vector.copy()
 
     def top_k(self, node: int, k: int) -> list[tuple[int, float]]:
@@ -294,10 +382,9 @@ class QueryEngine:
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
         start = time.perf_counter()
-        before = self._stats.cache_hits
-        vector = self._source_vector(node).copy()
-        ranked = rank_top_k(vector, int(node), k)
-        self._finish("top_k", start, cache_hit=self._stats.cache_hits > before)
+        vector, hit = self._source_vector(node)
+        ranked = rank_top_k(vector.copy(), int(node), k)
+        self._finish("top_k", start, cache_hit=hit)
         return ranked
 
     # ------------------------------------------------------------------ #
@@ -317,9 +404,19 @@ class QueryEngine:
         of it — one walker/push setup instead of many.  Pass ``False`` to
         force one backend call per pair (the evaluation drivers do, so the
         figure timings stay per-query).
+
+        Amortization is a performance mode: a hot pair is read from its
+        *batch-hot* endpoint's vector in the orientation given, so its value
+        can differ from :meth:`single_pair`'s canonical answer within the
+        backend's self-consistency (last-ulp for the exact backends' score
+        matrices, accuracy-target order for SLING).  The result is still
+        deterministic for a given batch — hot sources are a pure function of
+        the batch contents — but callers needing bitwise agreement with
+        :meth:`single_pair` should pass ``amortize=False``.
         """
         pairs = [(int(u), int(v)) for u, v in pairs]
-        self._stats.batch_calls += 1
+        with self._lock:
+            self._stats.batch_calls += 1
         hot_sources: set[int] = set()
         if amortize:
             counts: dict[int, int] = {}
@@ -337,9 +434,7 @@ class QueryEngine:
         for node_u, node_v in pairs:
             if node_u in hot_sources:
                 start = time.perf_counter()
-                before = self._stats.cache_hits
-                vector = self._batch_source_vector(node_u, local)
-                hit = self._stats.cache_hits > before
+                vector, hit = self._batch_source_vector(node_u, local)
                 results.append(float(vector[node_v]))
                 self._finish("single_pair", start, cache_hit=hit)
             else:
@@ -353,16 +448,14 @@ class QueryEngine:
         distinct source; duplicates within the batch are served from cache
         (or, with caching disabled, from a batch-local table)."""
         nodes = [int(node) for node in nodes]
-        self._stats.batch_calls += 1
+        with self._lock:
+            self._stats.batch_calls += 1
         local: dict[int, np.ndarray] = {}
         results: list[np.ndarray] = []
         for node in nodes:
             start = time.perf_counter()
-            before = self._stats.cache_hits
-            vector = self._batch_source_vector(node, local)
-            self._finish(
-                "single_source", start, cache_hit=self._stats.cache_hits > before
-            )
+            vector, hit = self._batch_source_vector(node, local)
+            self._finish("single_source", start, cache_hit=hit)
             results.append(vector.copy())
         return results
 
@@ -375,35 +468,36 @@ class QueryEngine:
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
         nodes = [int(node) for node in nodes]
-        self._stats.batch_calls += 1
+        with self._lock:
+            self._stats.batch_calls += 1
         local: dict[int, np.ndarray] = {}
         results: list[list[tuple[int, float]]] = []
         for node in nodes:
             start = time.perf_counter()
-            before = self._stats.cache_hits
-            vector = self._batch_source_vector(node, local)
+            vector, hit = self._batch_source_vector(node, local)
             ranked = rank_top_k(vector.copy(), node, k)
-            self._finish("top_k", start, cache_hit=self._stats.cache_hits > before)
+            self._finish("top_k", start, cache_hit=hit)
             results.append(ranked)
         return results
 
     # ------------------------------------------------------------------ #
     def _finish(self, kind: str, start: float, *, cache_hit: bool) -> None:
         elapsed = time.perf_counter() - start
-        if kind == "single_pair":
-            self._stats.single_pair_queries += 1
-        elif kind == "single_source":
-            self._stats.single_source_queries += 1
-        else:
-            self._stats.top_k_queries += 1
-        self._stats._record(
-            QueryRecord(
-                kind=kind,
-                backend=self._backend.name,
-                seconds=elapsed,
-                cache_hit=cache_hit,
-            )
+        record = QueryRecord(
+            kind=kind,
+            backend=self._backend.name,
+            seconds=elapsed,
+            cache_hit=cache_hit,
         )
+        with self._lock:
+            if kind == "single_pair":
+                self._stats.single_pair_queries += 1
+            elif kind == "single_source":
+                self._stats.single_source_queries += 1
+            else:
+                self._stats.top_k_queries += 1
+            self._stats._record(record)
+        self._tls.last_record = record
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

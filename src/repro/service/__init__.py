@@ -20,7 +20,11 @@ strictly::
   dataset sessions (lazy open via the planner and memory budget, per-backend
   engines, close / list / aggregate statistics);
 * :mod:`repro.service.wire` — the JSONL wire protocol (``repro batch``
-  streams request lines through the service and emits envelope lines).
+  streams request lines through the service and emits envelope lines);
+* :mod:`repro.service.parallel` — :class:`ParallelExecutor`, the worker pool
+  behind ``repro batch --workers N`` and the ``repro serve`` loop: chunked
+  concurrent execution with deterministic ordered output, per-request error
+  envelopes, and per-chunk deduplication of identical read queries.
 """
 
 from .queries import (
@@ -41,6 +45,7 @@ from .results import (
     QueryResult,
     result_from_wire,
 )
+from .parallel import ParallelExecutor
 from .service import DatasetSession, ServiceConfig, SimRankService
 from .wire import decode_request, decode_result, encode_request, encode_result
 
@@ -62,6 +67,7 @@ __all__ = [
     "ServiceConfig",
     "DatasetSession",
     "SimRankService",
+    "ParallelExecutor",
     "encode_request",
     "decode_request",
     "encode_result",

@@ -28,14 +28,15 @@ explicitly — including over caller-supplied graphs::
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..engine import BackendConfig, QueryEngine, create_engine, resolve_backend_name
-from ..exceptions import ParameterError, ReproError, WireFormatError
+from ..exceptions import ParameterError, ReproError
 from ..graphs import DiGraph, datasets
-from .queries import Query, query_from_wire
+from .queries import Query
 from .results import (
     ERROR_BAD_REQUEST,
     ERROR_INTERNAL,
@@ -43,6 +44,7 @@ from .results import (
     ERROR_UNKNOWN_DATASET,
     QueryResult,
 )
+from .wire import decode_query_or_failure
 
 __all__ = ["ServiceConfig", "DatasetSession", "SimRankService"]
 
@@ -85,6 +87,9 @@ class DatasetSession:
         #: Requested label (or ``None`` = service default) -> (engine, cached
         #: wire-form plan).  One dict lookup on the per-query hot path.
         self._by_label: dict[str | None, tuple[QueryEngine, dict | None]] = {}
+        # Serialises lazy engine builds: concurrent first queries on the same
+        # session wait for one index build instead of racing several.
+        self._lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -118,36 +123,48 @@ class DatasetSession:
         Engines are shared across alias spellings (keyed by resolved backend
         name); the plan dict is computed once at build time because it never
         changes afterwards and per-query envelopes must not rebuild it.
+
+        Thread-safe: the memoised fast path is one (GIL-atomic) dict read;
+        the build path runs under the session lock, so concurrent first
+        queries on a session produce exactly one engine per backend key.
         """
         cached = self._by_label.get(backend)
         if cached is not None:
             return cached
-        label = backend if backend is not None else self._config.backend
-        key = "auto" if label == "auto" else resolve_backend_name(label)
-        engine = self._engines.get(key)
-        if engine is None:
-            engine = create_engine(
-                self._graph,
-                backend=label,
-                memory_budget_bytes=self._config.memory_budget_bytes,
-                config=self._config.backend_config,
-                cache_size=self._config.cache_size,
-                allow_index_build=self._config.allow_index_build,
-            )
-            self._engines[key] = engine
-        plan = engine.plan.as_dict() if engine.plan else None
-        self._by_label[backend] = (engine, plan)
-        return engine, plan
+        with self._lock:
+            cached = self._by_label.get(backend)
+            if cached is not None:
+                return cached
+            label = backend if backend is not None else self._config.backend
+            key = "auto" if label == "auto" else resolve_backend_name(label)
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = create_engine(
+                    self._graph,
+                    backend=label,
+                    memory_budget_bytes=self._config.memory_budget_bytes,
+                    config=self._config.backend_config,
+                    cache_size=self._config.cache_size,
+                    allow_index_build=self._config.allow_index_build,
+                )
+                self._engines[key] = engine
+            plan = engine.plan.as_dict() if engine.plan else None
+            self._by_label[backend] = (engine, plan)
+            return engine, plan
 
     def statistics(self) -> dict:
-        """Per-session statistics: graph size plus one entry per engine."""
+        """Per-session statistics: graph size plus one entry per engine.
+
+        Engine statistics are snapshotted, so the dict is consistent even
+        while other threads keep querying the session.
+        """
         return {
             "dataset": self._name,
             "num_nodes": self._graph.num_nodes,
             "num_edges": self._graph.num_edges,
             "engines": {
-                key: engine.statistics.as_dict()
-                for key, engine in self._engines.items()
+                key: engine.statistics_snapshot().as_dict()
+                for key, engine in list(self._engines.items())
             },
         }
 
@@ -163,11 +180,21 @@ class DatasetSession:
 
 
 class SimRankService:
-    """Typed request/response API over named dataset sessions."""
+    """Typed request/response API over named dataset sessions.
+
+    Thread safety: one service may be shared by concurrent request threads
+    (:class:`~repro.service.ParallelExecutor`, ``repro serve``).  Session
+    management — opening, closing, listing — is serialised behind a service
+    lock (so two threads first-touching the same dataset load its graph
+    once); query execution only pays that lock when it has to open a
+    session, and the per-query hot path stays lock-free down to the engine,
+    whose own lock guards the cache and statistics.
+    """
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self._config = config or ServiceConfig()
         self._sessions: OrderedDict[str, DatasetSession] = OrderedDict()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Session management
@@ -201,48 +228,58 @@ class SimRankService:
         existing session returns it unchanged (a conflicting ``graph`` raises
         :class:`~repro.exceptions.ParameterError`).
         """
-        key = self._canonical(name)
-        session = self._sessions.get(key)
-        if session is not None:
-            if graph is not None and graph is not session.graph:
-                raise ParameterError(
-                    f"dataset session {key!r} is already open over a different graph"
+        with self._lock:
+            key = self._canonical(name)
+            session = self._sessions.get(key)
+            if session is not None:
+                if graph is not None and graph is not session.graph:
+                    raise ParameterError(
+                        f"dataset session {key!r} is already open over a "
+                        "different graph"
+                    )
+                return session
+            if graph is None:
+                graph = datasets.load_dataset(
+                    key, scale=self._config.scale, seed=self._config.seed
                 )
+            session = DatasetSession(key, graph, self._config)
+            self._sessions[key] = session
             return session
-        if graph is None:
-            graph = datasets.load_dataset(
-                key, scale=self._config.scale, seed=self._config.seed
-            )
-        session = DatasetSession(key, graph, self._config)
-        self._sessions[key] = session
-        return session
 
     def close_dataset(self, name: str) -> bool:
         """Drop the session (graph, engines, caches); ``False`` if not open."""
-        return self._sessions.pop(self._canonical(name), None) is not None
+        with self._lock:
+            return self._sessions.pop(self._canonical(name), None) is not None
 
     def close_all(self) -> None:
         """Drop every session."""
-        self._sessions.clear()
+        with self._lock:
+            self._sessions.clear()
 
     def list_datasets(self) -> list[str]:
         """Names of the open sessions, in opening order."""
-        return list(self._sessions)
+        with self._lock:
+            return list(self._sessions)
 
     def statistics(self) -> dict:
-        """Aggregate statistics: per-session detail plus service-wide totals."""
-        per_dataset = {
-            name: session.statistics() for name, session in self._sessions.items()
-        }
+        """Aggregate statistics: per-session detail plus service-wide totals.
+
+        Per-engine numbers come from consistent snapshots, so the totals add
+        up even while other threads keep executing queries.
+        """
+        with self._lock:
+            sessions = list(self._sessions.items())
+        per_dataset = {}
         totals = {"total_queries": 0, "cache_hits": 0, "cache_misses": 0,
                   "total_seconds": 0.0}
-        for session in self._sessions.values():
-            for engine in session._engines.values():
-                stats = engine.statistics
-                totals["total_queries"] += stats.total_queries
-                totals["cache_hits"] += stats.cache_hits
-                totals["cache_misses"] += stats.cache_misses
-                totals["total_seconds"] += stats.total_seconds
+        for name, session in sessions:
+            detail = session.statistics()
+            per_dataset[name] = detail
+            for engine_stats in detail["engines"].values():
+                totals["total_queries"] += engine_stats["total_queries"]
+                totals["cache_hits"] += engine_stats["cache_hits"]
+                totals["cache_misses"] += engine_stats["cache_misses"]
+                totals["total_seconds"] += engine_stats["total_seconds"]
         return {"datasets": per_dataset, "totals": totals}
 
     # ------------------------------------------------------------------ #
@@ -288,8 +325,6 @@ class SimRankService:
             )
 
         n = session.num_nodes
-        stats = engine.statistics
-        hits_before = stats.cache_hits
         cache_hit: bool | None
         try:
             if kind == "single_pair":
@@ -326,7 +361,14 @@ class SimRankService:
                 ERROR_INTERNAL, f"{type(exc).__name__}: {exc}", query, start
             )
 
-        cache_hit = stats.cache_hits > hits_before if kind != "all_pairs" else None
+        # Attributed per calling thread — under concurrent execution the
+        # aggregate counters interleave, so a counter delta would claim other
+        # threads' hits as this request's.
+        if kind == "all_pairs":
+            cache_hit = None
+        else:
+            record = engine.last_query_record
+            cache_hit = record.cache_hit if record is not None else None
         return QueryResult.success(
             kind=kind,
             dataset=session.name,
@@ -367,18 +409,10 @@ class SimRankService:
     def execute_wire(self, payload: object) -> QueryResult:
         """Decode one wire dict and execute it; decoding failures become
         ``bad_request`` envelopes (the guarantee ``repro batch`` relies on)."""
-        try:
-            query = query_from_wire(payload)
-        except (WireFormatError, ParameterError) as exc:
-            kind = payload.get("kind") if isinstance(payload, dict) else None
-            dataset = payload.get("dataset") if isinstance(payload, dict) else None
-            return QueryResult.failure(
-                ERROR_BAD_REQUEST,
-                str(exc),
-                kind=kind if isinstance(kind, str) else None,
-                dataset=dataset if isinstance(dataset, str) else None,
-            )
-        return self.execute(query)
+        decoded = decode_query_or_failure(payload)
+        if isinstance(decoded, QueryResult):
+            return decoded
+        return self.execute(decoded)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

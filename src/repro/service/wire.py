@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import json
 
-from ..exceptions import WireFormatError
+from ..exceptions import ParameterError, WireFormatError
 from .queries import Query, query_from_wire
-from .results import QueryResult, result_from_wire
+from .results import ERROR_BAD_REQUEST, QueryResult, result_from_wire
 
 __all__ = [
     "encode_request",
     "decode_request",
+    "decode_query_or_failure",
     "encode_result",
     "decode_result",
 ]
@@ -52,6 +53,29 @@ def decode_request(line: str) -> Query:
     except json.JSONDecodeError as exc:
         raise WireFormatError(f"invalid JSON: {exc}") from exc
     return query_from_wire(payload)
+
+
+def decode_query_or_failure(payload: object) -> Query | QueryResult:
+    """Decode one wire payload into a typed query, or a ``bad_request``
+    envelope when it cannot be decoded.
+
+    The one place the decode-failure envelope is shaped (best-effort
+    ``kind``/``dataset`` context included), shared by
+    :meth:`~repro.service.service.SimRankService.execute_wire` and the
+    :class:`~repro.service.parallel.ParallelExecutor` so their envelopes
+    can never diverge.
+    """
+    try:
+        return query_from_wire(payload)
+    except (WireFormatError, ParameterError) as exc:
+        kind = payload.get("kind") if isinstance(payload, dict) else None
+        dataset = payload.get("dataset") if isinstance(payload, dict) else None
+        return QueryResult.failure(
+            ERROR_BAD_REQUEST,
+            str(exc),
+            kind=kind if isinstance(kind, str) else None,
+            dataset=dataset if isinstance(dataset, str) else None,
+        )
 
 
 def encode_result(result: QueryResult) -> str:

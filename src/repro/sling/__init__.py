@@ -31,7 +31,12 @@ from .storage import (
     out_of_core_build,
     save_index,
 )
-from .parallel import build_with_thread_count, parallel_build
+from .parallel import (
+    build_with_thread_count,
+    even_chunks,
+    parallel_build,
+    resolve_worker_count,
+)
 
 __all__ = [
     "SqrtCWalker",
@@ -63,4 +68,6 @@ __all__ = [
     "save_index",
     "build_with_thread_count",
     "parallel_build",
+    "even_chunks",
+    "resolve_worker_count",
 ]

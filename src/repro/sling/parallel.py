@@ -20,6 +20,7 @@ experiment.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 
@@ -32,7 +33,13 @@ from .hitting import HittingProbabilitySet, build_hitting_sets
 from .parameters import SlingParameters
 from .walks import SqrtCWalker
 
-__all__ = ["parallel_build", "node_chunks", "build_with_thread_count"]
+__all__ = [
+    "parallel_build",
+    "even_chunks",
+    "node_chunks",
+    "resolve_worker_count",
+    "build_with_thread_count",
+]
 
 # Worker-process globals, populated once per worker by the pool initializer so
 # the (potentially large) graph is not re-pickled for every task.
@@ -40,19 +47,45 @@ _WORKER_GRAPH: DiGraph | None = None
 _WORKER_PARAMS: SlingParameters | None = None
 
 
-def node_chunks(num_nodes: int, num_chunks: int) -> list[range]:
-    """Split ``range(num_nodes)`` into at most ``num_chunks`` contiguous ranges."""
-    if num_nodes < 0:
-        raise ParameterError(f"num_nodes must be non-negative, got {num_nodes}")
+def even_chunks(total: int, num_chunks: int) -> list[range]:
+    """Split ``range(total)`` into at most ``num_chunks`` contiguous ranges.
+
+    The generic chunking behind both the parallel index build (chunks of
+    nodes) and the service's :class:`~repro.service.ParallelExecutor`
+    (chunks of request indices): ranges are contiguous, cover ``range(total)``
+    exactly once, and differ in length by at most one.
+    """
+    if total < 0:
+        raise ParameterError(f"total must be non-negative, got {total}")
     if num_chunks < 1:
         raise ParameterError(f"num_chunks must be >= 1, got {num_chunks}")
-    num_chunks = min(num_chunks, max(1, num_nodes))
-    bounds = np.linspace(0, num_nodes, num_chunks + 1, dtype=int)
+    num_chunks = min(num_chunks, max(1, total))
+    bounds = np.linspace(0, total, num_chunks + 1, dtype=int)
     return [
         range(int(bounds[i]), int(bounds[i + 1]))
         for i in range(num_chunks)
         if bounds[i] < bounds[i + 1]
     ]
+
+
+def node_chunks(num_nodes: int, num_chunks: int) -> list[range]:
+    """Split ``range(num_nodes)`` into at most ``num_chunks`` contiguous ranges."""
+    if num_nodes < 0:
+        raise ParameterError(f"num_nodes must be non-negative, got {num_nodes}")
+    return even_chunks(num_nodes, num_chunks)
+
+
+def resolve_worker_count(workers: int | None) -> int:
+    """Normalise a worker-count option: ``None`` or ``0`` means "one per CPU".
+
+    Negative counts are rejected; the result is always >= 1 (also on
+    platforms where the CPU count cannot be determined).
+    """
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ParameterError(f"workers must be >= 1 (or 0 for auto), got {workers}")
+    return int(workers)
 
 
 def _init_worker(graph: DiGraph, params: SlingParameters) -> None:

@@ -152,3 +152,54 @@ class TestBatchParser:
     def test_batch_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             main(["batch", "--backend", "FooBar"])
+
+
+class TestBatchWorkers:
+    """``--workers N`` must keep the sequential path's contract exactly."""
+
+    LINES = [
+        '{"kind":"top_k","dataset":"GrQc","node":%d,"k":4}' % (n % 9)
+        for n in range(30)
+    ] + [
+        "{broken",
+        '{"kind":"single_pair","dataset":"GrQc","node_u":1,"node_v":2}',
+    ]
+
+    def _strip(self, envelope):
+        return {
+            key: value
+            for key, value in envelope.items()
+            if key not in ("seconds", "cache_hit")
+        }
+
+    def test_parallel_output_matches_sequential(self, capsys):
+        exit_seq, sequential, _ = run_batch(capsys, self.LINES)
+        exit_par, parallel, err = run_batch(capsys, self.LINES, "--workers", "4")
+        assert exit_seq == exit_par == 1  # the broken line fails either way
+        assert len(parallel) == len(sequential) == len(self.LINES)
+        assert [self._strip(e) for e in parallel] == [
+            self._strip(e) for e in sequential
+        ]
+        assert "31/32 ok, 1 error(s)" in err
+
+    def test_workers_with_file_io(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"kind":"top_k","dataset":"GrQc","node":1,"k":3}\n'
+            '{"kind":"top_k","dataset":"GrQc","node":1,"k":3}\n'
+        )
+        output = tmp_path / "out.jsonl"
+        exit_code = main(
+            ["batch", *FAST, "--workers", "2",
+             "--input", str(requests), "--output", str(output)]
+        )
+        assert exit_code == 0
+        envelopes = [
+            json.loads(line) for line in output.read_text().splitlines() if line
+        ]
+        assert len(envelopes) == 2
+        assert envelopes[0]["value"] == envelopes[1]["value"]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--workers", "0"])

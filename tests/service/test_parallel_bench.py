@@ -1,0 +1,62 @@
+"""The parallel-batch benchmark must produce a sane, JSON-able payload.
+
+Speedups are hardware-dependent (on a single-core host all of the gain is
+batch-level deduplication; worker parallelism only adds on multi-core), so
+the assertions here are structural plus the one machine-independent
+guarantee: every worker count returns exactly the sequential values.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        import bench_parallel_batch
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    return bench_parallel_batch
+
+
+@pytest.fixture(scope="module")
+def payload(bench_module):
+    return bench_module.run_benchmark(
+        dataset="GrQc", scale=0.05, epsilon=0.1, num_queries=400,
+        hot_sources=8, k=5, worker_counts=(1, 2), repeats=2, seed=0,
+    )
+
+
+class TestParallelBatchBenchmark:
+    def test_payload_is_json_serialisable(self, payload):
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["benchmark"] == "parallel_batch"
+
+    def test_cells_cover_requested_worker_counts(self, payload):
+        assert set(payload["cells"]) == {"workers_1", "workers_2"}
+        for cell in payload["cells"].values():
+            assert cell["seconds"] > 0.0
+            assert cell["queries_per_second"] > 0.0
+            assert cell["speedup_vs_sequential"] > 0.0
+
+    def test_values_identical_across_worker_counts(self, payload):
+        """The executor's deterministic-output contract, measured end to end."""
+        assert payload["identical_values"] is True
+
+    def test_workload_is_skewed_and_warm(self, payload):
+        assert payload["distinct_sources"] <= 8
+        assert payload["duplicate_fraction"] > 0.9
+
+    def test_speedups_mirror_cells(self, payload):
+        assert payload["speedups"] == {
+            name: cell["speedup_vs_sequential"]
+            for name, cell in payload["cells"].items()
+        }
