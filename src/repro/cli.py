@@ -21,16 +21,26 @@ Queries go through the :class:`~repro.service.SimRankService` layer:
 ``query`` answers one ad-hoc request, ``batch`` streams JSONL request lines
 (from stdin or ``--input``) through the service and emits one JSONL
 :class:`~repro.service.QueryResult` envelope per line — malformed or
-unanswerable requests become error envelopes, never tracebacks, and the exit
-status is non-zero when any line failed.  ``batch --workers N`` runs the
-batch over a :class:`~repro.service.ParallelExecutor` worker pool (ordered
-output, identical envelopes-per-line contract); ``serve`` is the long-lived
-variant — a stdin/stdout JSONL loop that keeps every touched dataset session
-open, answers requests in arrival order with up to ``--workers`` in flight,
-and exits 0 on EOF.  ``--backend`` selects any registered backend (or
-``auto`` to let the planner route from ``--memory-budget-mb``), and
-``--json`` switches ``query`` to machine-readable output including the query
-plan and engine statistics.
+unanswerable requests become error envelopes, never tracebacks (with
+``--input FILE`` the envelope carries the bad line's number in
+``error.detail.line``), and the exit status is non-zero when any line
+failed.  ``batch --workers N`` runs the batch over a
+:class:`~repro.service.ParallelExecutor` worker pool (ordered output,
+identical envelopes-per-line contract); ``serve`` is the long-lived variant
+— a stdin/stdout JSONL loop that keeps every touched dataset session open,
+answers requests in arrival order with up to ``--workers`` in flight, and
+exits 0 on EOF.
+
+Both JSONL commands speak **wire protocol v2** (see the README reference):
+requests may wrap the v1 body with ``v``/``id``/``chunk_size`` envelope
+keys, responses echo the ``id``, control-plane kinds (``ping``,
+``open_dataset``, ``close_dataset``, ``list_datasets``, ``stats``,
+``describe``, ``shutdown``) ride alongside queries, the serve loop opens
+with a ``hello`` frame, and chunked results stream as ``partial``/``done``
+frames.  Bare v1 query lines keep working unchanged.  ``--backend``
+selects any registered backend (or ``auto`` to let the planner route from
+``--memory-budget-mb``), and ``--json`` switches ``query`` to
+machine-readable output including the query plan and engine statistics.
 """
 
 from __future__ import annotations
@@ -42,6 +52,7 @@ import queue
 import select
 import sys
 import threading
+from dataclasses import replace
 from typing import Sequence, TextIO
 
 from .engine import BackendConfig, backend_names
@@ -49,14 +60,16 @@ from .evaluation import experiments, reporting
 from .evaluation.experiments import MethodConfig
 from .graphs import datasets
 from .service import (
-    ERROR_BAD_REQUEST,
     ParallelExecutor,
     QueryResult,
+    RequestEnvelope,
     ServiceConfig,
     SimRankService,
     SinglePairQuery,
     TopKQuery,
-    encode_result,
+    decode_envelope_line,
+    encode_frame,
+    response_frames,
 )
 
 __all__ = ["main", "build_parser"]
@@ -262,7 +275,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--stats",
         action="store_true",
-        help="dump aggregate service statistics as JSON on stderr at shutdown",
+        help="dump aggregate service statistics as JSON on stderr at shutdown "
+        "(the same snapshot the 'stats' control request returns on demand)",
+    )
+    serve.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stream single_source/all_pairs results longer than N as "
+        "bounded partial frames when the request does not pick its own "
+        "chunk_size (default: unchunked)",
+    )
+    serve.add_argument(
+        "--no-hello",
+        action="store_true",
+        help="suppress the opening hello frame (for strictly-v1 consumers)",
     )
 
     return parser
@@ -385,14 +413,21 @@ def _pump_jsonl(
     executor: ParallelExecutor,
     input_stream: TextIO,
     output_stream: TextIO,
+    *,
+    chunk_size: int | None = None,
 ) -> tuple[int, int, list[BaseException]]:
     """Pipelined ordered request/response pump shared by ``serve`` and the
     stdin path of ``batch --workers``.
 
-    One envelope per request line, written **in arrival order** and flushed
-    as soon as it is ready, with up to ``workers`` requests executing behind
-    the head of the line — so a lockstep producer (write one request, wait
-    for its response) never deadlocks.  Returns ``(ok_count, error_count,
+    One response per request line — a monolithic v2 envelope, or
+    ``partial``/``done`` frames when the request (or the server's
+    ``chunk_size`` default) asked for streaming — written **in arrival
+    order** and flushed as soon as it is ready, with up to ``workers``
+    requests executing behind the head of the line, so a lockstep producer
+    (write one request, wait for its response) never deadlocks.  Every
+    response echoes its request's ``id``.  An acknowledged ``shutdown``
+    control request stops the reader: requests already in flight drain,
+    later input is not read.  Returns ``(ok_count, error_count,
     writer_errors)``; a failed write (the consumer closed the output) stops
     the pump instead of killing it.  When the input has a real file
     descriptor, the reader polls it, so an output failure also unblocks a
@@ -405,6 +440,7 @@ def _pump_jsonl(
     pending: queue.Queue = queue.Queue(maxsize=executor.workers * 4)
     writer_errors: list[BaseException] = []
     writer_failed = threading.Event()
+    stop_reading = threading.Event()
 
     def write_responses() -> None:
         nonlocal ok_count, error_count
@@ -412,14 +448,20 @@ def _pump_jsonl(
         # rather than die: a dead consumer would leave the reader blocked in
         # ``put()`` on a full queue with nothing ever taking items out.
         while True:
-            future = pending.get()
-            if future is None:
+            item = pending.get()
+            if item is None:
                 return
             if writer_failed.is_set():
                 continue
+            envelope, future = item
             try:
                 result = future.result()
-                print(encode_result(result), file=output_stream, flush=True)
+                for frame in response_frames(
+                    result,
+                    id=envelope.id,
+                    chunk_size=envelope.chunk_size or chunk_size,
+                ):
+                    print(frame, file=output_stream, flush=True)
             except BaseException as exc:  # noqa: BLE001 - must keep draining
                 writer_errors.append(exc)
                 writer_failed.set()
@@ -428,10 +470,16 @@ def _pump_jsonl(
                 ok_count += 1
             else:
                 error_count += 1
+            if result.ok and result.kind == "shutdown":
+                stop_reading.set()
 
     def submit(line: str) -> None:
         if line.strip():
-            pending.put(executor.submit_line(line))
+            envelope = decode_envelope_line(line)
+            pending.put((envelope, executor.submit(envelope.request)))
+
+    def _reader_done() -> bool:
+        return writer_failed.is_set() or stop_reading.is_set()
 
     def read_requests() -> None:
         try:
@@ -458,7 +506,7 @@ def _pump_jsonl(
             # read, but the process no longer waits on it.
             def blocking_reader() -> None:
                 for line in input_stream:
-                    if writer_failed.is_set():
+                    if _reader_done():
                         return
                     try:
                         submit(line)
@@ -472,18 +520,19 @@ def _pump_jsonl(
                 target=blocking_reader, name="repro-jsonl-reader", daemon=True
             )
             reader.start()
-            while reader.is_alive() and not writer_failed.is_set():
+            while reader.is_alive() and not _reader_done():
                 reader.join(timeout=0.1)
             return
-        # Poll the raw descriptor so a dead consumer (writer_failed)
-        # interrupts a reader that would otherwise block forever on a
-        # producer waiting for the response we can no longer deliver.  Lines
-        # are split here, at the byte level: select() only reports the
-        # kernel buffer, so mixing it with a buffered readline() would stall
-        # on lines already sitting in the TextIO buffer.
+        # Poll the raw descriptor so a dead consumer (writer_failed) or an
+        # acknowledged shutdown interrupts a reader that would otherwise
+        # block forever on a producer waiting for the response we can no
+        # longer deliver.  Lines are split here, at the byte level:
+        # select() only reports the kernel buffer, so mixing it with a
+        # buffered readline() would stall on lines already sitting in the
+        # TextIO buffer.
         tail = b""
         try:
-            while not writer_failed.is_set():
+            while not _reader_done():
                 ready, _, _ = select.select([fd], [], [], 0.1)
                 if not ready:
                     continue
@@ -497,7 +546,7 @@ def _pump_jsonl(
                 *lines, tail = tail.split(b"\n")
                 for raw in lines:
                     submit(raw.decode("utf-8", errors="replace"))
-            if tail and not writer_failed.is_set():  # unterminated last line
+            if tail and not _reader_done():  # unterminated last line
                 submit(tail.decode("utf-8", errors="replace"))
         finally:
             try:
@@ -603,20 +652,64 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_batch(args: argparse.Namespace) -> int:
-    """The ``batch`` sub-command: JSONL requests in, JSONL envelopes out.
+#: Window size for the parallel file-input path of ``repro batch``:
+#: duplicates dedupe within a window and memory stays bounded.
+_BATCH_WINDOW = 1024
 
-    Every input line yields exactly one envelope line; lines that cannot be
-    parsed or answered become error envelopes.  With ``--workers N > 1`` the
-    whole batch runs over a :class:`~repro.service.ParallelExecutor` — the
-    output order and the envelope-per-line contract are identical to the
-    sequential path.  Returns 0 when every request succeeded, 1 otherwise
-    (a summary goes to stderr either way).
+
+def _batch_envelopes(input_stream: TextIO):
+    """Yield one decoded :class:`RequestEnvelope` per non-blank input line.
+
+    When the input is a real file (not stdin), decode failures are stamped
+    with the 1-based input line number (``error.detail.line``) so users can
+    find the bad request in large JSONL files.
+    """
+    number_lines = input_stream is not sys.stdin
+    for lineno, line in enumerate(input_stream, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        envelope = decode_envelope_line(stripped)
+        if number_lines and isinstance(envelope.request, QueryResult):
+            envelope = replace(
+                envelope, request=envelope.request.with_error_detail(line=lineno)
+            )
+        yield envelope
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    """The ``batch`` sub-command: JSONL requests in, JSONL responses out.
+
+    Every input line yields exactly one response (monolithic, or
+    ``partial``/``done`` frames when the request set a ``chunk_size``);
+    lines that cannot be parsed or answered become error envelopes — with
+    ``--input FILE``, decode failures carry the offending 1-based line
+    number in ``error.detail.line``.  Control requests work exactly as in
+    ``repro serve``; an acknowledged ``shutdown`` stops the batch after its
+    response (in-window requests still drain under ``--workers``).  With
+    ``--workers N > 1`` the batch runs over a
+    :class:`~repro.service.ParallelExecutor` — the output order and the
+    response-per-line contract are identical to the sequential path.
+    Returns 0 when every request succeeded, 1 otherwise (a summary goes to
+    stderr either way).
     """
     service = _service(args)
     ok_count = 0
     error_count = 0
     output_failed = False
+
+    def emit(envelope: RequestEnvelope, result: QueryResult, out: TextIO) -> bool:
+        """Write one response; returns True when it acknowledged a shutdown."""
+        nonlocal ok_count, error_count
+        for frame in response_frames(
+            result, id=envelope.id, chunk_size=envelope.chunk_size
+        ):
+            print(frame, file=out, flush=True)
+        if result.ok:
+            ok_count += 1
+        else:
+            error_count += 1
+        return result.ok and result.kind == "shutdown"
 
     def run(input_stream: TextIO, output_stream: TextIO) -> None:
         nonlocal ok_count, error_count, output_failed
@@ -640,30 +733,27 @@ def _run_batch(args: argparse.Namespace) -> int:
                 # File input cannot deadlock on the producer side: process
                 # it in bounded windows so duplicates dedupe within each
                 # window and memory stays bounded.
-                for result in executor.run_stream(input_stream):
-                    print(encode_result(result), file=output_stream, flush=True)
-                    if result.ok:
-                        ok_count += 1
-                    else:
-                        error_count += 1
+                window: list[RequestEnvelope] = []
+
+                def flush_window() -> bool:
+                    results = executor.run([env.request for env in window])
+                    stopping = False
+                    for env, result in zip(window, results):
+                        stopping = emit(env, result, output_stream) or stopping
+                    window.clear()
+                    return stopping
+
+                for envelope in _batch_envelopes(input_stream):
+                    window.append(envelope)
+                    if len(window) >= _BATCH_WINDOW and flush_window():
+                        return
+                if window:
+                    flush_window()
             return
-        for line in input_stream:
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                payload = json.loads(stripped)
-            except json.JSONDecodeError as exc:
-                result = QueryResult.failure(
-                    ERROR_BAD_REQUEST, f"invalid JSON: {exc}"
-                )
-            else:
-                result = service.execute_wire(payload)
-            print(encode_result(result), file=output_stream, flush=True)
-            if result.ok:
-                ok_count += 1
-            else:
-                error_count += 1
+        for envelope in _batch_envelopes(input_stream):
+            result = service.execute_request(envelope.request)
+            if emit(envelope, result, output_stream):
+                return
 
     try:
         input_stream = (
@@ -719,19 +809,32 @@ def _run_batch(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` sub-command: a long-lived stdin/stdout JSONL loop.
 
-    Requests stream in one JSONL line at a time; every request gets exactly
-    one envelope line, **in arrival order**, flushed as soon as it is ready.
-    Up to ``--workers`` requests execute concurrently behind the head of the
-    line, and every dataset session touched stays open for the life of the
-    process, so requests against different datasets interleave freely on one
-    warm service.  EOF drains the in-flight requests and exits 0 (this is a
-    server loop — client errors become envelopes, not exit codes); the
-    summary and optional ``--stats`` dump go to stderr.
+    The loop opens with a ``hello`` frame advertising the protocol version,
+    available backends, and open datasets (suppress with ``--no-hello``).
+    Requests then stream in one JSONL line at a time — bare v1 query lines
+    or v2 envelopes, data plane and control plane alike; every request gets
+    exactly one response, **in arrival order**, flushed as soon as it is
+    ready, echoing the request's ``id``.  Large ``single_source`` /
+    ``all_pairs`` answers stream as bounded ``partial``/``done`` frames
+    when the request (or ``--chunk-size``) asks for it.  Up to ``--workers``
+    requests execute concurrently behind the head of the line, and every
+    dataset session touched stays open for the life of the process, so
+    requests against different datasets interleave freely on one warm
+    service.  EOF — or an acknowledged ``shutdown`` control request —
+    drains the in-flight requests and exits 0 (this is a server loop —
+    client errors become envelopes, not exit codes); the summary and
+    optional ``--stats`` dump go to stderr.
     """
     service = _service(args)
+    if not args.no_hello:
+        try:
+            print(encode_frame(service.hello_payload()), flush=True)
+        except BaseException as exc:  # noqa: BLE001 - consumer already gone
+            _report_output_failure("serve", exc, stdout_target=True)
+            return 1
     with ParallelExecutor(service, workers=args.workers) as executor:
         ok_count, error_count, writer_errors = _pump_jsonl(
-            executor, sys.stdin, sys.stdout
+            executor, sys.stdin, sys.stdout, chunk_size=args.chunk_size
         )
 
     if writer_errors:

@@ -16,6 +16,7 @@ keys so the evaluation drivers and the CLI can share one dispatch path.
 from __future__ import annotations
 
 import abc
+import dataclasses
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -101,6 +102,10 @@ class BackendInfo:
     #: file handle) must declare ``False`` and the engine will serialise its
     #: queries behind a lock instead of running them in parallel.
     thread_safe_queries: bool = True
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for the ``describe`` control response."""
+        return dataclasses.asdict(self)
 
 
 class SimilarityBackend(abc.ABC):

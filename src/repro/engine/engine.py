@@ -232,6 +232,22 @@ class QueryEngine:
                 self._stats, recent_queries=list(self._stats.recent_queries)
             )
 
+    def describe(self) -> dict:
+        """One JSON-able self-description: backend capabilities, the
+        planner's routing decision, cache state, and a consistent
+        statistics snapshot — what the service's ``describe`` control
+        request reports per engine."""
+        with self._lock:
+            cached_vectors = len(self._cache)
+        return {
+            "backend": self._backend.name,
+            "backend_info": self._backend.info.as_dict(),
+            "plan": self.plan.as_dict() if self.plan else None,
+            "cache_size": self._cache_size,
+            "cached_vectors": cached_vectors,
+            "statistics": self.statistics_snapshot().as_dict(),
+        }
+
     @property
     def last_query_record(self) -> QueryRecord | None:
         """The most recent query record *of the calling thread* (or ``None``).

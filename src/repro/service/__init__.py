@@ -1,4 +1,4 @@
-"""Typed request/response service API over the query engine.
+"""Typed request/response service API over the query engine (protocol v2).
 
 This package is the serving boundary of the repository — the layer a CLI,
 batch runner, or future async/HTTP front end talks to.  The layering is
@@ -10,23 +10,50 @@ strictly::
        |
     backend   (SLING index, disk-backed SLING, baselines)
 
-* :mod:`repro.service.queries` — frozen, validated request dataclasses
-  (:class:`SinglePairQuery`, :class:`SingleSourceQuery`, :class:`TopKQuery`,
-  :class:`AllPairsQuery`);
+* :mod:`repro.service.queries` — frozen, validated **data-plane** request
+  dataclasses (:class:`SinglePairQuery`, :class:`SingleSourceQuery`,
+  :class:`TopKQuery`, :class:`AllPairsQuery`);
+* :mod:`repro.service.control` — frozen **control-plane** request
+  dataclasses (:class:`PingRequest`, :class:`OpenDatasetRequest`,
+  :class:`CloseDatasetRequest`, :class:`ListDatasetsRequest`,
+  :class:`StatsRequest`, :class:`DescribeRequest`,
+  :class:`ShutdownRequest`) — admin operations that ride the same wire as
+  queries and come back as the same envelopes;
 * :mod:`repro.service.results` — the :class:`QueryResult` envelope (value +
   dataset + backend + plan + latency + cache-hit flag, or a structured
   :class:`QueryError` — bad requests never raise across the boundary);
 * :mod:`repro.service.service` — :class:`SimRankService`, which manages named
   dataset sessions (lazy open via the planner and memory budget, per-backend
-  engines, close / list / aggregate statistics);
-* :mod:`repro.service.wire` — the JSONL wire protocol (``repro batch``
-  streams request lines through the service and emits envelope lines);
+  engines, close / list / describe / aggregate statistics) and dispatches
+  both planes through :meth:`~repro.service.service.SimRankService.execute_wire`;
+* :mod:`repro.service.wire` — the JSONL wire protocol v2: versioned request
+  envelopes (``v`` / client-assigned ``id`` echoed on every response /
+  ``chunk_size``), the ``hello`` handshake frame, and chunked
+  ``partial``/``done`` result streaming.  Bare v1 query lines decode as v2
+  with ``id: null``;
+* :mod:`repro.service.client` — :class:`SimRankClient`, the typed client
+  library with in-process and ``repro serve``-subprocess transports;
 * :mod:`repro.service.parallel` — :class:`ParallelExecutor`, the worker pool
   behind ``repro batch --workers N`` and the ``repro serve`` loop: chunked
   concurrent execution with deterministic ordered output, per-request error
   envelopes, and per-chunk deduplication of identical read queries.
 """
 
+from .client import ServiceError, SimRankClient
+from .control import (
+    CONTROL_KINDS,
+    CloseDatasetRequest,
+    ControlRequest,
+    DescribeRequest,
+    ListDatasetsRequest,
+    OpenDatasetRequest,
+    PingRequest,
+    ShutdownRequest,
+    StatsRequest,
+    control_from_wire,
+    request_from_wire,
+)
+from .parallel import ParallelExecutor
 from .queries import (
     QUERY_KINDS,
     AllPairsQuery,
@@ -45,9 +72,21 @@ from .results import (
     QueryResult,
     result_from_wire,
 )
-from .parallel import ParallelExecutor
 from .service import DatasetSession, ServiceConfig, SimRankService
-from .wire import decode_request, decode_result, encode_request, encode_result
+from .wire import (
+    PROTOCOL_VERSION,
+    RequestEnvelope,
+    decode_envelope,
+    decode_envelope_line,
+    decode_request,
+    decode_result,
+    encode_frame,
+    encode_request,
+    encode_response,
+    encode_result,
+    response_frames,
+    result_from_frames,
+)
 
 __all__ = [
     "Query",
@@ -57,6 +96,17 @@ __all__ = [
     "AllPairsQuery",
     "QUERY_KINDS",
     "query_from_wire",
+    "ControlRequest",
+    "PingRequest",
+    "OpenDatasetRequest",
+    "CloseDatasetRequest",
+    "ListDatasetsRequest",
+    "StatsRequest",
+    "DescribeRequest",
+    "ShutdownRequest",
+    "CONTROL_KINDS",
+    "control_from_wire",
+    "request_from_wire",
     "QueryError",
     "QueryResult",
     "result_from_wire",
@@ -68,8 +118,18 @@ __all__ = [
     "DatasetSession",
     "SimRankService",
     "ParallelExecutor",
+    "SimRankClient",
+    "ServiceError",
+    "PROTOCOL_VERSION",
+    "RequestEnvelope",
     "encode_request",
     "decode_request",
     "encode_result",
     "decode_result",
+    "encode_frame",
+    "encode_response",
+    "decode_envelope",
+    "decode_envelope_line",
+    "response_frames",
+    "result_from_frames",
 ]

@@ -1,0 +1,445 @@
+"""`SimRankClient`: the typed client library for protocol v2.
+
+One client surface, two transports:
+
+* **in-process** — wraps a :class:`~repro.service.SimRankService` directly.
+  Zero-copy of the service's guarantees, but requests still round-trip
+  through the same envelope decode / frame encode / reassembly code the
+  wire uses, so the two transports cannot drift apart behaviourally;
+* **subprocess** — speaks v2 JSONL to a ``repro serve`` child over
+  stdin/stdout pipes: reads the opening ``hello`` frame, assigns a
+  monotonically increasing ``id`` to every request, and verifies the echo.
+
+Typical use::
+
+    from repro.service import SimRankClient
+
+    with SimRankClient.in_process(scale=0.1) as client:
+        scores = client.single_source("GrQc", 3, chunk_size=512)
+        top = client.top_k("GrQc", 3, k=5)
+        print(client.list_datasets(), client.stats()["totals"])
+
+    with SimRankClient.connect(scale=0.1) as client:   # spawns repro serve
+        print(client.hello()["protocol"])              # -> 2
+        print(client.single_pair("GrQc", 1, 2))
+
+Value-returning helpers (``single_pair`` ... ``shutdown``) raise
+:class:`ServiceError` on error envelopes; :meth:`SimRankClient.execute`
+returns the raw :class:`~repro.service.results.QueryResult` for callers
+that want to inspect envelopes themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import Sequence
+
+from ..exceptions import ReproError, WireFormatError
+from .control import (
+    CloseDatasetRequest,
+    ControlRequest,
+    DescribeRequest,
+    ListDatasetsRequest,
+    OpenDatasetRequest,
+    PingRequest,
+    ShutdownRequest,
+    StatsRequest,
+)
+from .queries import (
+    AllPairsQuery,
+    Query,
+    SinglePairQuery,
+    SingleSourceQuery,
+    TopKQuery,
+)
+from .results import QueryResult
+from .service import ServiceConfig, SimRankService
+from .wire import (
+    PROTOCOL_VERSION,
+    decode_envelope,
+    encode_frame,
+    response_frames,
+    result_from_frames,
+)
+
+__all__ = ["ServiceError", "SimRankClient"]
+
+
+class ServiceError(ReproError):
+    """A value-returning client helper received an error envelope."""
+
+    def __init__(self, result: QueryResult) -> None:
+        error = result.error
+        code = error.code if error else "unknown"
+        message = error.message if error else "unknown error"
+        super().__init__(f"[{code}] {message}")
+        #: The full error envelope, for callers that need the detail.
+        self.result = result
+        self.code = code
+
+
+class _InProcessTransport:
+    """Round-trip requests through a wrapped service, via the wire codecs.
+
+    The request payload is decoded with the same envelope decoder and the
+    result is re-encoded into frames and reassembled with the same
+    functions the serve loop and the subprocess transport use — so
+    chunking, id echo, and error shaping are *proven* identical rather
+    than merely similar.
+    """
+
+    def __init__(self, service: SimRankService, *, owns_service: bool) -> None:
+        self._service = service
+        #: Whether the client created the service (and so may tear it down
+        #: on close) or merely wraps one the caller still owns.
+        self._owns_service = owns_service
+        self._shut_down = False
+        # Snapshot hello at connect time, exactly like the subprocess
+        # transport reading the serve loop's opening frame — hello is the
+        # handshake, not a live status endpoint (that is ``describe``).
+        self._hello = service.hello_payload()
+
+    @property
+    def service(self) -> SimRankService:
+        return self._service
+
+    @property
+    def owns_service(self) -> bool:
+        return self._owns_service
+
+    def hello(self) -> dict:
+        return self._hello
+
+    def roundtrip(self, payload: dict) -> QueryResult:
+        if self._shut_down:
+            # Mirror the subprocess transport: a server that acknowledged
+            # shutdown answers nothing further.
+            raise ServiceError(
+                QueryResult.failure("server_gone", "server has shut down")
+            )
+        envelope = decode_envelope(payload)
+        result = self._service.execute_request(envelope.request)
+        if result.ok and result.kind == "shutdown":
+            # Mirror the serve loop: after an acknowledged shutdown the
+            # sessions are gone and no further requests are served.
+            self._shut_down = True
+            self._service.close_all()
+        frames = [
+            json.loads(line)
+            for line in response_frames(
+                result, id=envelope.id, chunk_size=envelope.chunk_size
+            )
+        ]
+        reassembled = result_from_frames(frames)
+        _check_echo(frames, payload.get("id"))
+        return reassembled
+
+    @property
+    def closed(self) -> bool:
+        return self._shut_down
+
+    def close(self) -> None:
+        if self._owns_service:
+            self._service.close_all()
+
+
+class _SubprocessTransport:
+    """Speak v2 JSONL to a ``repro serve`` child process.
+
+    The child is spawned with this interpreter and the installed package's
+    ``src`` directory on ``PYTHONPATH``, so the transport works from a
+    checkout without installation.  Requests are written one line at a
+    time and responses read back in lockstep — the serve loop's ordered
+    writer guarantees the next response line(s) belong to the request just
+    sent.
+    """
+
+    def __init__(self, serve_args: Sequence[str]) -> None:
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir, env["PYTHONPATH"]] if env.get("PYTHONPATH") else [src_dir]
+        )
+        self._process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", *serve_args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            encoding="utf-8",
+            env=env,
+        )
+        self._lock = threading.Lock()
+        self._shut_down = False
+        self._hello = self._read_frame()
+        if self._hello.get("frame") != "hello":
+            raise WireFormatError(
+                f"expected a hello frame from repro serve, got {self._hello!r}"
+            )
+
+    def _read_frame(self) -> dict:
+        assert self._process.stdout is not None
+        line = self._process.stdout.readline()
+        if not line:
+            raise ServiceError(
+                QueryResult.failure(
+                    "server_gone", "repro serve closed its output stream"
+                )
+            )
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise WireFormatError(f"expected a frame object, got {payload!r}")
+        return payload
+
+    def hello(self) -> dict:
+        return self._hello
+
+    def roundtrip(self, payload: dict) -> QueryResult:
+        with self._lock:
+            if self._shut_down or self._process.poll() is not None:
+                raise ServiceError(
+                    QueryResult.failure("server_gone", "server has shut down")
+                )
+            assert self._process.stdin is not None
+            self._process.stdin.write(encode_frame(payload) + "\n")
+            self._process.stdin.flush()
+            frames = [self._read_frame()]
+            while frames[-1].get("frame") == "partial":
+                frames.append(self._read_frame())
+            _check_echo(frames, payload.get("id"))
+            result = result_from_frames(frames)
+            if result.ok and result.kind == "shutdown":
+                self._shut_down = True
+                self._finish()
+            return result
+
+    @property
+    def closed(self) -> bool:
+        return self._shut_down or self._process.poll() is not None
+
+    def _finish(self) -> None:
+        if self._process.stdin is not None:
+            try:
+                self._process.stdin.close()
+            except OSError:  # pragma: no cover - pipe already gone
+                pass
+        try:
+            self._process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+            self._process.kill()
+            self._process.wait()
+
+    def close(self) -> None:
+        with self._lock:
+            self._finish()
+
+
+def _check_echo(frames: Sequence[dict], request_id: object) -> None:
+    for frame in frames:
+        if frame.get("id") != request_id:
+            raise WireFormatError(
+                f"response frame echoes id {frame.get('id')!r} "
+                f"for request id {request_id!r}"
+            )
+
+
+class SimRankClient:
+    """Typed protocol-v2 client: queries and control over either transport.
+
+    Construct via :meth:`in_process` (wrap a service in this interpreter)
+    or :meth:`connect` (spawn and drive a ``repro serve`` subprocess); both
+    speak the same envelopes, so code written against one runs unchanged
+    against the other.  Instances are context managers; :meth:`close`
+    shuts the transport down (and, for :meth:`connect`, sends ``shutdown``
+    to the child first so it exits cleanly).
+    """
+
+    def __init__(self, transport: _InProcessTransport | _SubprocessTransport) -> None:
+        self._transport = transport
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def in_process(
+        cls,
+        service: SimRankService | None = None,
+        *,
+        config: ServiceConfig | None = None,
+        **config_kwargs: object,
+    ) -> "SimRankClient":
+        """A client over an in-process service.
+
+        Pass an existing ``service``, a full ``config``, or
+        :class:`~repro.service.ServiceConfig` fields as keyword arguments
+        (``scale=0.1, backend="sling"``).  A caller-supplied service stays
+        the caller's: :meth:`close` leaves its sessions untouched (only an
+        explicit :meth:`shutdown` tears them down); a service the client
+        creates here is torn down with the client.
+        """
+        owns_service = service is None
+        if service is None:
+            service = SimRankService(config or ServiceConfig(**config_kwargs))
+        return cls(_InProcessTransport(service, owns_service=owns_service))
+
+    @classmethod
+    def connect(
+        cls,
+        *,
+        scale: float = 1.0,
+        epsilon: float = 0.05,
+        seed: int = 0,
+        backend: str = "auto",
+        workers: int = 1,
+        mc_walks: int = 200,
+        extra_args: Sequence[str] = (),
+    ) -> "SimRankClient":
+        """Spawn ``repro serve`` as a child process and connect to it."""
+        serve_args = [
+            "--scale", str(scale),
+            "--epsilon", str(epsilon),
+            "--seed", str(seed),
+            "--backend", backend,
+            "--workers", str(workers),
+            "--mc-walks", str(mc_walks),
+            *extra_args,
+        ]
+        return cls(_SubprocessTransport(serve_args))
+
+    # ------------------------------------------------------------------ #
+    # Envelope-level surface
+    # ------------------------------------------------------------------ #
+    def hello(self) -> dict:
+        """The server's hello frame: protocol version, backends, datasets."""
+        return self._transport.hello()
+
+    @property
+    def protocol_version(self) -> int:
+        """The protocol version this client speaks."""
+        return PROTOCOL_VERSION
+
+    @property
+    def closed(self) -> bool:
+        """Whether the transport has been shut down."""
+        return self._transport.closed
+
+    def execute(
+        self,
+        request: Query | ControlRequest,
+        *,
+        chunk_size: int | None = None,
+    ) -> QueryResult:
+        """Answer one typed request; returns the full result envelope.
+
+        ``chunk_size`` asks the server to stream a large ``single_source``
+        / ``all_pairs`` value as bounded frames; the client reassembles
+        them, so the returned envelope's ``value`` is always complete.
+        """
+        with self._id_lock:
+            request_id = self._next_id
+            self._next_id += 1
+        payload: dict = {"v": PROTOCOL_VERSION, "id": request_id}
+        if chunk_size is not None:
+            payload["chunk_size"] = chunk_size
+        payload.update(request.to_wire())
+        return self._transport.roundtrip(payload)
+
+    def _value(
+        self,
+        request: Query | ControlRequest,
+        *,
+        chunk_size: int | None = None,
+    ) -> object:
+        result = self.execute(request, chunk_size=chunk_size)
+        if not result.ok:
+            raise ServiceError(result)
+        return result.value
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    def single_pair(self, dataset: str, node_u: int, node_v: int) -> float:
+        """SimRank of one pair."""
+        return self._value(SinglePairQuery(dataset, node_u, node_v))
+
+    def single_source(
+        self, dataset: str, node: int, *, chunk_size: int | None = None
+    ) -> list:
+        """SimRank from ``node`` to every node (optionally streamed)."""
+        return self._value(
+            SingleSourceQuery(dataset, node), chunk_size=chunk_size
+        )
+
+    def top_k(self, dataset: str, node: int, k: int) -> list:
+        """The ``k`` nodes most similar to ``node``, ranked."""
+        return self._value(TopKQuery(dataset, node=node, k=k))
+
+    def all_pairs(self, dataset: str, *, chunk_size: int | None = None) -> list:
+        """The full score matrix (optionally streamed row-wise)."""
+        return self._value(AllPairsQuery(dataset), chunk_size=chunk_size)
+
+    # ------------------------------------------------------------------ #
+    # Control plane
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        """Liveness probe; ``{"pong": true, "protocol": 2}``."""
+        return self._value(PingRequest())
+
+    def open_dataset(self, dataset: str) -> dict:
+        """Open a registry dataset session eagerly; returns its shape."""
+        return self._value(OpenDatasetRequest(dataset))
+
+    def close_dataset(self, dataset: str) -> dict:
+        """Close one dataset session; ``{"closed": bool, ...}``."""
+        return self._value(CloseDatasetRequest(dataset))
+
+    def list_datasets(self) -> list:
+        """Names of the open sessions, in opening order."""
+        value = self._value(ListDatasetsRequest())
+        return value["datasets"]
+
+    def stats(self) -> dict:
+        """The aggregate statistics snapshot."""
+        return self._value(StatsRequest())
+
+    def describe(self, dataset: str | None = None) -> dict:
+        """Describe the service, or one open dataset session."""
+        return self._value(DescribeRequest(dataset=dataset))
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop; the transport closes with it."""
+        return self._value(ShutdownRequest())
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the transport down (sending ``shutdown`` first if alive).
+
+        A borrowed in-process service (``in_process(service=...)``) is not
+        shut down — its sessions belong to the caller; only transports the
+        client owns (a spawned ``repro serve`` child, a service built by
+        :meth:`in_process`) get the full teardown.
+        """
+        owns = getattr(self._transport, "owns_service", True)
+        if owns and not self._transport.closed:
+            try:
+                self.shutdown()
+            except (ReproError, OSError):  # already going away; finish locally
+                pass
+        self._transport.close()
+
+    def __enter__(self) -> "SimRankClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        transport = type(self._transport).__name__.strip("_")
+        return f"SimRankClient(transport={transport}, closed={self.closed})"

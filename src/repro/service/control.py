@@ -1,0 +1,196 @@
+"""Typed control-plane requests: managing the service over the wire.
+
+Protocol v2 splits the wire API into a **data plane** (the query kinds in
+:mod:`repro.service.queries`) and a **control plane** — the administrative
+operations a remote caller needs to manage a long-lived server:
+
+* :class:`PingRequest` — liveness probe; answers ``{"pong": true}``;
+* :class:`OpenDatasetRequest` — open a registry dataset session eagerly
+  (queries open sessions lazily; an explicit open lets a client pay the
+  graph-load/index-build cost up front);
+* :class:`CloseDatasetRequest` — drop a session (graph, engines, caches);
+* :class:`ListDatasetsRequest` — names of the open sessions;
+* :class:`StatsRequest` — the aggregate statistics snapshot (the same dict
+  ``repro serve --stats`` dumps at shutdown, available on demand);
+* :class:`DescribeRequest` — self-description: the service (protocol
+  version, backends, open sessions, config) or one open session (graph
+  size, per-engine plans, cache state, statistics);
+* :class:`ShutdownRequest` — ask a serve loop to stop accepting requests,
+  drain what is in flight, and exit cleanly.
+
+Control requests ride the same envelope as queries — one JSON object per
+line with a ``kind`` discriminator, optionally wrapped with ``id``/``v`` —
+and come back as the same :class:`~repro.service.results.QueryResult`
+envelope (``kind`` echoes the control kind, ``value`` carries the control
+payload, failures are structured error envelopes).  Because they are
+dispatched by :meth:`~repro.service.service.SimRankService.execute_wire`,
+every consumer of the service — ``repro batch``, ``repro serve``, the
+:class:`~repro.service.parallel.ParallelExecutor`, the
+:class:`~repro.service.client.SimRankClient` — speaks the control plane
+with no transport-specific code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+from ..exceptions import ParameterError, WireFormatError
+from .queries import QUERY_KINDS, Query, fields_from_wire, query_from_wire
+
+__all__ = [
+    "ControlRequest",
+    "PingRequest",
+    "OpenDatasetRequest",
+    "CloseDatasetRequest",
+    "ListDatasetsRequest",
+    "StatsRequest",
+    "DescribeRequest",
+    "ShutdownRequest",
+    "CONTROL_KINDS",
+    "control_from_wire",
+    "request_from_wire",
+]
+
+
+def _check_dataset(value: object) -> None:
+    if not isinstance(value, str) or not value.strip():
+        raise ParameterError(f"dataset must be a non-empty string, got {value!r}")
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """Base class for control-plane requests (no fields of its own)."""
+
+    #: Wire-protocol discriminator; overridden by each concrete kind.
+    kind: ClassVar[str] = ""
+
+    def to_wire(self) -> dict:
+        """Flat JSON-able dict form: ``kind`` plus every dataclass field."""
+        payload = {"kind": self.kind}
+        for spec in fields(self):
+            payload[spec.name] = getattr(self, spec.name)
+        return payload
+
+
+@dataclass(frozen=True)
+class PingRequest(ControlRequest):
+    """Liveness probe; the cheapest possible round-trip."""
+
+    kind: ClassVar[str] = "ping"
+
+
+@dataclass(frozen=True)
+class OpenDatasetRequest(ControlRequest):
+    """Open (or touch) the session for a registry dataset eagerly."""
+
+    kind: ClassVar[str] = "open_dataset"
+
+    dataset: str
+
+    def __post_init__(self) -> None:
+        _check_dataset(self.dataset)
+
+
+@dataclass(frozen=True)
+class CloseDatasetRequest(ControlRequest):
+    """Drop one dataset session (its graph, engines, and caches)."""
+
+    kind: ClassVar[str] = "close_dataset"
+
+    dataset: str
+
+    def __post_init__(self) -> None:
+        _check_dataset(self.dataset)
+
+
+@dataclass(frozen=True)
+class ListDatasetsRequest(ControlRequest):
+    """Names of the open dataset sessions, in opening order."""
+
+    kind: ClassVar[str] = "list_datasets"
+
+
+@dataclass(frozen=True)
+class StatsRequest(ControlRequest):
+    """The aggregate statistics snapshot, on demand."""
+
+    kind: ClassVar[str] = "stats"
+
+
+@dataclass(frozen=True)
+class DescribeRequest(ControlRequest):
+    """Describe the service (no ``dataset``) or one open session."""
+
+    kind: ClassVar[str] = "describe"
+
+    dataset: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.dataset is not None:
+            _check_dataset(self.dataset)
+
+
+@dataclass(frozen=True)
+class ShutdownRequest(ControlRequest):
+    """Ask a serve loop to drain in-flight requests and exit cleanly."""
+
+    kind: ClassVar[str] = "shutdown"
+
+
+#: Wire discriminator -> control class, for :func:`control_from_wire`.
+CONTROL_KINDS: dict[str, type[ControlRequest]] = {
+    cls.kind: cls
+    for cls in (
+        PingRequest,
+        OpenDatasetRequest,
+        CloseDatasetRequest,
+        ListDatasetsRequest,
+        StatsRequest,
+        DescribeRequest,
+        ShutdownRequest,
+    )
+}
+
+
+def control_from_wire(payload: object) -> ControlRequest:
+    """Decode one wire dict into a typed control request.
+
+    Exactly as strict as :func:`~repro.service.queries.query_from_wire`:
+    unknown kinds, missing required fields, and unexpected extra keys raise
+    :class:`~repro.exceptions.WireFormatError`.
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    if kind not in CONTROL_KINDS:
+        raise WireFormatError(
+            f"unknown control kind {kind!r}; expected one of "
+            f"{', '.join(sorted(CONTROL_KINDS))}"
+        )
+    cls = CONTROL_KINDS[kind]
+    return cls(**fields_from_wire(cls, kind, payload))
+
+
+def request_from_wire(payload: object) -> Query | ControlRequest:
+    """Decode one wire dict into a query **or** a control request.
+
+    The union decoder behind protocol v2: the ``kind`` discriminator routes
+    to whichever plane owns it, and an unrecognised kind's error message
+    lists every kind the server understands.
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    if kind in QUERY_KINDS:
+        return query_from_wire(payload)
+    if kind in CONTROL_KINDS:
+        return control_from_wire(payload)
+    raise WireFormatError(
+        f"unknown request kind {kind!r}; expected one of "
+        f"{', '.join(sorted({**QUERY_KINDS, **CONTROL_KINDS}))}"
+    )

@@ -46,6 +46,7 @@ from typing import Iterable, Sequence
 
 from ..exceptions import ParameterError, ReproError
 from ..sling.parallel import even_chunks, resolve_worker_count
+from .control import ControlRequest
 from .queries import (
     AllPairsQuery,
     Query,
@@ -55,7 +56,7 @@ from .queries import (
 )
 from .results import ERROR_BAD_REQUEST, ERROR_INTERNAL, QueryResult
 from .service import SimRankService
-from .wire import decode_query_or_failure
+from .wire import decode_envelope
 
 __all__ = ["ParallelExecutor"]
 
@@ -159,7 +160,7 @@ class ParallelExecutor:
     # ------------------------------------------------------------------ #
     def _execute_one(
         self,
-        request: Query | object,
+        request: Query | ControlRequest | object,
         shared: dict[tuple, QueryResult] | None = None,
     ) -> QueryResult:
         """Answer one request — typed query or wire payload — as an envelope.
@@ -167,18 +168,26 @@ class ParallelExecutor:
         ``shared`` is a chunk-local memo of completed read queries; it is
         only ever touched by the one worker thread that owns the chunk.
         A request that is already a :class:`QueryResult` (a pre-failed
-        envelope from line decoding) passes through untouched.
+        envelope from line decoding) passes through untouched; a
+        :class:`~repro.service.control.ControlRequest` dispatches to the
+        service's control plane (control operations are never deduplicated
+        — ``close_dataset`` twice must close twice).
         """
         try:
             if isinstance(request, QueryResult):
                 return request
+            if isinstance(request, ControlRequest):
+                return self._service.execute_control(request)
             if not isinstance(request, Query):
                 # Decode wire payloads up front (rather than delegating to
                 # execute_wire) so deduplication and a pinned backend apply
                 # to the JSONL path — the only path the CLI uses — too.
-                request = decode_query_or_failure(request)
+                # The envelope decoder accepts v2 keys and control kinds.
+                request = decode_envelope(request).request
                 if isinstance(request, QueryResult):
                     return request
+                if isinstance(request, ControlRequest):
+                    return self._service.execute_control(request)
             key = _dedupe_key(request, self._backend)
             if shared is not None and key is not None:
                 result = shared.get(key)
@@ -195,7 +204,7 @@ class ParallelExecutor:
             )
 
     def _run_chunk(
-        self, requests: Sequence[Query | object], chunk: range
+        self, requests: Sequence[Query | ControlRequest | object], chunk: range
     ) -> list[QueryResult]:
         shared: dict[tuple, QueryResult] = {}
         return [self._execute_one(requests[index], shared) for index in chunk]
@@ -203,7 +212,7 @@ class ParallelExecutor:
     # ------------------------------------------------------------------ #
     # Batch execution
     # ------------------------------------------------------------------ #
-    def run(self, requests: Sequence[Query | object]) -> list[QueryResult]:
+    def run(self, requests: Sequence[Query | ControlRequest | object]) -> list[QueryResult]:
         """Answer a batch; result ``i`` always belongs to request ``i``.
 
         Requests may be typed :class:`~repro.service.queries.Query` objects
@@ -278,7 +287,7 @@ class ParallelExecutor:
     # ------------------------------------------------------------------ #
     # Streaming execution (the serve loop)
     # ------------------------------------------------------------------ #
-    def submit(self, request: Query | object) -> "Future[QueryResult]":
+    def submit(self, request: Query | ControlRequest | object) -> "Future[QueryResult]":
         """Schedule one request on the pool; the future never raises.
 
         The streaming interface: callers (``repro serve``) keep a FIFO of

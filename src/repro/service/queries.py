@@ -22,7 +22,7 @@ protocol; :func:`query_from_wire` is the strict inverse.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import MISSING, dataclass, fields
 from typing import ClassVar
 
 from ..exceptions import ParameterError, WireFormatError
@@ -35,6 +35,7 @@ __all__ = [
     "AllPairsQuery",
     "QUERY_KINDS",
     "query_from_wire",
+    "fields_from_wire",
 ]
 
 
@@ -126,6 +127,37 @@ QUERY_KINDS: dict[str, type[Query]] = {
 }
 
 
+def fields_from_wire(cls: type, kind: str, payload: dict) -> dict:
+    """Strictly extract ``cls``'s constructor arguments from a wire payload.
+
+    Fields without defaults are required; fields with defaults are optional.
+    Missing required fields and unexpected extra keys raise
+    :class:`~repro.exceptions.WireFormatError`.  Shared by the query decoder
+    below and the control-plane decoder
+    (:func:`repro.service.control.control_from_wire`) so the two planes
+    reject malformed requests identically.
+    """
+    specs = fields(cls)
+    allowed = {spec.name for spec in specs}
+    required = {
+        spec.name
+        for spec in specs
+        if spec.default is MISSING and spec.default_factory is MISSING
+    }
+    given = set(payload) - {"kind"}
+    missing = required - given
+    if missing:
+        raise WireFormatError(
+            f"{kind} request is missing field(s): {', '.join(sorted(missing))}"
+        )
+    extra = given - allowed
+    if extra:
+        raise WireFormatError(
+            f"{kind} request has unexpected field(s): {', '.join(sorted(extra))}"
+        )
+    return {name: payload[name] for name in given}
+
+
 def query_from_wire(payload: object) -> Query:
     """Decode one wire dict into a typed query.
 
@@ -146,16 +178,4 @@ def query_from_wire(payload: object) -> Query:
             f"{', '.join(sorted(QUERY_KINDS))}"
         )
     cls = QUERY_KINDS[kind]
-    expected = {spec.name for spec in fields(cls)}
-    given = set(payload) - {"kind"}
-    missing = expected - given
-    if missing:
-        raise WireFormatError(
-            f"{kind} request is missing field(s): {', '.join(sorted(missing))}"
-        )
-    extra = given - expected
-    if extra:
-        raise WireFormatError(
-            f"{kind} request has unexpected field(s): {', '.join(sorted(extra))}"
-        )
-    return cls(**{name: payload[name] for name in expected})
+    return cls(**fields_from_wire(cls, kind, payload))

@@ -49,10 +49,17 @@ class QueryError:
 
     code: str
     message: str
+    #: Optional machine-readable context (e.g. ``{"line": 17}`` for a
+    #: malformed line in a ``repro batch`` input file); omitted from the
+    #: wire form when empty.
+    detail: dict | None = None
 
     def to_wire(self) -> dict:
         """Plain-dict form for JSON output."""
-        return {"code": self.code, "message": self.message}
+        payload = {"code": self.code, "message": self.message}
+        if self.detail is not None:
+            payload["detail"] = self.detail
+        return payload
 
 
 @dataclass(frozen=True)
@@ -112,6 +119,7 @@ class QueryResult:
         kind: str | None = None,
         dataset: str | None = None,
         seconds: float = 0.0,
+        detail: dict | None = None,
     ) -> "QueryResult":
         """An error envelope; ``kind``/``dataset`` are best-effort context."""
         return cls(
@@ -119,7 +127,26 @@ class QueryResult:
             kind=kind,
             dataset=dataset,
             seconds=seconds,
-            error=QueryError(code=code, message=message),
+            error=QueryError(code=code, message=message, detail=detail),
+        )
+
+    def with_error_detail(self, **detail: object) -> "QueryResult":
+        """This envelope with ``detail`` merged into its error object.
+
+        A no-op on successful envelopes — the batch runner calls it
+        unconditionally to stamp input line numbers onto decode failures.
+        """
+        if self.ok or self.error is None or not detail:
+            return self
+        merged = {**(self.error.detail or {}), **detail}
+        return QueryResult(
+            ok=False,
+            kind=self.kind,
+            dataset=self.dataset,
+            seconds=self.seconds,
+            error=QueryError(
+                code=self.error.code, message=self.error.message, detail=merged
+            ),
         )
 
     def to_wire(self) -> dict:
@@ -170,10 +197,13 @@ def result_from_wire(payload: object) -> QueryResult:
     error = payload.get("error")
     if not isinstance(error, dict) or "code" not in error:
         raise WireFormatError("error envelope must carry an 'error' object with a code")
+    detail = error.get("detail")
     return QueryResult(
         ok=False,
         error=QueryError(
-            code=str(error["code"]), message=str(error.get("message", ""))
+            code=str(error["code"]),
+            message=str(error.get("message", "")),
+            detail=detail if isinstance(detail, dict) else None,
         ),
         **common,
     )

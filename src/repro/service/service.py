@@ -33,9 +33,16 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from ..engine import BackendConfig, QueryEngine, create_engine, resolve_backend_name
+from ..engine import (
+    BackendConfig,
+    QueryEngine,
+    backend_names,
+    create_engine,
+    resolve_backend_name,
+)
 from ..exceptions import ParameterError, ReproError
 from ..graphs import DiGraph, datasets
+from .control import ControlRequest
 from .queries import Query
 from .results import (
     ERROR_BAD_REQUEST,
@@ -44,7 +51,7 @@ from .results import (
     ERROR_UNKNOWN_DATASET,
     QueryResult,
 )
-from .wire import decode_query_or_failure
+from .wire import PROTOCOL_VERSION, decode_envelope
 
 __all__ = ["ServiceConfig", "DatasetSession", "SimRankService"]
 
@@ -164,6 +171,20 @@ class DatasetSession:
             "num_edges": self._graph.num_edges,
             "engines": {
                 key: engine.statistics_snapshot().as_dict()
+                for key, engine in list(self._engines.items())
+            },
+        }
+
+    def describe(self) -> dict:
+        """Self-description for the ``describe`` control request: graph
+        size plus one full :meth:`~repro.engine.QueryEngine.describe` entry
+        per engine built so far."""
+        return {
+            "dataset": self._name,
+            "num_nodes": self._graph.num_nodes,
+            "num_edges": self._graph.num_edges,
+            "engines": {
+                key: engine.describe()
                 for key, engine in list(self._engines.items())
             },
         }
@@ -406,13 +427,161 @@ class SimRankService:
             seconds=time.perf_counter() - start,
         )
 
+    # ------------------------------------------------------------------ #
+    # Control plane
+    # ------------------------------------------------------------------ #
+    def hello_payload(self) -> dict:
+        """The ``hello`` frame a serve loop opens with (minus encoding):
+        protocol version, available backends, and open datasets.
+
+        Shared with the in-process client transport, so both transports
+        advertise identically.
+        """
+        return {
+            "v": PROTOCOL_VERSION,
+            "frame": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "backends": ["auto", *backend_names()],
+            "default_backend": self._config.backend,
+            "datasets": self.list_datasets(),
+            "registry": list(datasets.dataset_names()),
+        }
+
+    def describe(self, dataset: str | None = None) -> dict:
+        """Self-description: the whole service, or one *open* session.
+
+        The service-level form carries the protocol version, backends, open
+        sessions, and the session-shaping config; the session-level form
+        delegates to :meth:`DatasetSession.describe` (graph size, per-engine
+        plans, cache state, statistics).  Raises
+        :class:`~repro.exceptions.ParameterError` for a session that is not
+        open — describing must stay cheap, so it never triggers a graph
+        load or index build.
+        """
+        if dataset is None:
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "backends": ["auto", *backend_names()],
+                "datasets": self.list_datasets(),
+                "registry": list(datasets.dataset_names()),
+                "config": {
+                    "backend": self._config.backend,
+                    "memory_budget_bytes": self._config.memory_budget_bytes,
+                    "cache_size": self._config.cache_size,
+                    "scale": self._config.scale,
+                    "seed": self._config.seed,
+                    "allow_index_build": self._config.allow_index_build,
+                },
+            }
+        with self._lock:
+            session = self._sessions.get(self._canonical(dataset))
+        if session is None:
+            raise ParameterError(
+                f"dataset session {dataset!r} is not open; "
+                "open_dataset it first (describe never opens sessions)"
+            )
+        return session.describe()
+
+    def execute_control(self, request: ControlRequest) -> QueryResult:
+        """Answer one control-plane request as a :class:`QueryResult`.
+
+        Same boundary contract as :meth:`execute`: failures come back as
+        structured error envelopes, never exceptions.  ``shutdown`` only
+        *acknowledges* here — actually stopping is the serve loop's job
+        (it watches for the acknowledged envelope); an in-process caller
+        has nothing to stop.
+        """
+        start = time.perf_counter()
+        kind = request.kind
+        dataset = getattr(request, "dataset", None)
+        try:
+            if kind == "ping":
+                value: object = {"pong": True, "protocol": PROTOCOL_VERSION}
+            elif kind == "list_datasets":
+                value = {"datasets": self.list_datasets()}
+            elif kind == "stats":
+                value = self.statistics()
+            elif kind == "open_dataset":
+                already = self._canonical(dataset) in self.list_datasets()
+                session = self.open_dataset(dataset)
+                value = {
+                    "dataset": session.name,
+                    "num_nodes": session.num_nodes,
+                    "num_edges": session.graph.num_edges,
+                    "already_open": already,
+                }
+                dataset = session.name
+            elif kind == "close_dataset":
+                value = {"dataset": dataset, "closed": self.close_dataset(dataset)}
+            elif kind == "describe":
+                value = self.describe(dataset)
+            elif kind == "shutdown":
+                value = {"stopping": True}
+            else:
+                return QueryResult.failure(
+                    ERROR_BAD_REQUEST,
+                    f"unsupported control kind {kind!r}",
+                    kind=kind,
+                    dataset=dataset,
+                    seconds=time.perf_counter() - start,
+                )
+        except ParameterError as exc:
+            known = dataset is not None and any(
+                key.lower() == dataset.lower() for key in datasets.dataset_names()
+            )
+            code = ERROR_UNKNOWN_DATASET
+            if kind == "open_dataset" and known:
+                # A registry dataset that fails to *load* is a service-side
+                # problem, mirroring the lazy-open path in execute().
+                code = ERROR_INTERNAL
+            return QueryResult.failure(
+                code, str(exc), kind=kind, dataset=dataset,
+                seconds=time.perf_counter() - start,
+            )
+        except Exception as exc:  # noqa: BLE001 - the boundary must not leak
+            return QueryResult.failure(
+                ERROR_INTERNAL, f"{type(exc).__name__}: {exc}",
+                kind=kind, dataset=dataset,
+                seconds=time.perf_counter() - start,
+            )
+        return QueryResult.success(
+            kind=kind,
+            dataset=dataset,
+            value=value,
+            backend=None,
+            plan=None,
+            seconds=time.perf_counter() - start,
+            cache_hit=None,
+        )
+
+    def execute_request(
+        self,
+        request: Query | ControlRequest | QueryResult,
+        *,
+        backend: str | None = None,
+    ) -> QueryResult:
+        """Answer a typed request from either plane (the union dispatch).
+
+        A pre-failed :class:`QueryResult` (from envelope decoding) passes
+        through untouched, so callers can feed decoded lines in blindly.
+        """
+        if isinstance(request, QueryResult):
+            return request
+        if isinstance(request, ControlRequest):
+            return self.execute_control(request)
+        return self.execute(request, backend=backend)
+
     def execute_wire(self, payload: object) -> QueryResult:
         """Decode one wire dict and execute it; decoding failures become
-        ``bad_request`` envelopes (the guarantee ``repro batch`` relies on)."""
-        decoded = decode_query_or_failure(payload)
-        if isinstance(decoded, QueryResult):
-            return decoded
-        return self.execute(decoded)
+        ``bad_request`` envelopes (the guarantee ``repro batch`` relies on).
+
+        Speaks the full v2 surface: envelope keys (``v``/``id``/
+        ``chunk_size``) are accepted and ignored here — they shape the
+        *frames*, which are the transport's concern — and control kinds
+        dispatch to :meth:`execute_control`, so batch, serve, and the
+        parallel executor all gain the control plane through this one door.
+        """
+        return self.execute_request(decode_envelope(payload).request)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

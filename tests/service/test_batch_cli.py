@@ -148,6 +148,71 @@ class TestBatchFiles:
         assert "cannot write --output" in capsys.readouterr().err
 
 
+class TestBatchLineNumbers:
+    """Satellite: file input stamps decode failures with the bad line."""
+
+    def test_malformed_file_lines_carry_their_line_number(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"kind":"top_k","dataset":"GrQc","node":1,"k":2}\n'
+            "this is not json\n"
+            "\n"
+            '{"kind":"teleport"}\n'
+            '{"kind":"top_k","dataset":"GrQc","node":2,"k":2}\n',
+            encoding="utf-8",
+        )
+        output = tmp_path / "out.jsonl"
+        exit_code = main(
+            ["batch", *FAST, "--input", str(requests), "--output", str(output)]
+        )
+        assert exit_code == 1
+        envelopes = [
+            json.loads(line) for line in output.read_text().splitlines() if line
+        ]
+        assert [e["ok"] for e in envelopes] == [True, False, False, True]
+        # Blank lines still count: the line numbers are positions in the
+        # input file, so they point at the actual bad lines.
+        assert envelopes[1]["error"]["detail"] == {"line": 2}
+        assert envelopes[2]["error"]["detail"] == {"line": 4}
+
+    def test_line_numbers_survive_workers(self, capsys, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"kind":"top_k","dataset":"GrQc","node":1,"k":2}\n{oops\n',
+            encoding="utf-8",
+        )
+        output = tmp_path / "out.jsonl"
+        exit_code = main(
+            ["batch", *FAST, "--workers", "2",
+             "--input", str(requests), "--output", str(output)]
+        )
+        assert exit_code == 1
+        envelopes = [
+            json.loads(line) for line in output.read_text().splitlines() if line
+        ]
+        assert envelopes[1]["error"]["detail"] == {"line": 2}
+
+    def test_stdin_failures_carry_no_line_detail(self, capsys):
+        _, envelopes, _ = run_batch(capsys, ["{broken"])
+        assert "detail" not in envelopes[0]["error"]
+
+    def test_execution_errors_carry_no_line_detail(self, capsys, tmp_path):
+        # Only *decode* failures are malformed lines; a well-formed request
+        # that fails to execute is not stamped.
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"kind":"top_k","dataset":"NotADataset","node":1,"k":2}\n',
+            encoding="utf-8",
+        )
+        output = tmp_path / "out.jsonl"
+        main(["batch", *FAST, "--input", str(requests), "--output", str(output)])
+        (envelope,) = [
+            json.loads(line) for line in output.read_text().splitlines() if line
+        ]
+        assert envelope["error"]["code"] == "unknown_dataset"
+        assert "detail" not in envelope["error"]
+
+
 class TestBatchParser:
     def test_batch_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,199 @@
+"""`SimRankClient` parity: in-process and subprocess transports agree.
+
+The shared scenario drives every query kind and every control operation
+through both transports with identical settings and asserts the *values*
+are identical (timing fields are normalised away — they are the only
+thing allowed to differ).  The subprocess half doubles as the
+client↔server smoke suite CI runs against a real ``repro serve`` child
+(select it with ``-k subprocess``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import BackendConfig
+from repro.service import (
+    ServiceConfig,
+    ServiceError,
+    SimRankClient,
+    TopKQuery,
+)
+
+#: Settings shared by both transports — must stay in lockstep so values
+#: are reproducible across processes.
+SCALE, EPSILON, SEED, MC_WALKS = 0.05, 0.1, 0, 30
+
+#: Timing keys normalised away before parity comparison; everything else
+#: must match exactly.
+TIMING_KEYS = {"seconds", "total_seconds", "recent_queries"}
+
+
+def make_client(transport: str) -> SimRankClient:
+    if transport == "in_process":
+        return SimRankClient.in_process(
+            config=ServiceConfig(
+                scale=SCALE,
+                seed=SEED,
+                backend_config=BackendConfig(
+                    epsilon=EPSILON, seed=SEED, mc_num_walks=MC_WALKS
+                ),
+            )
+        )
+    return SimRankClient.connect(
+        scale=SCALE, epsilon=EPSILON, seed=SEED, mc_walks=MC_WALKS
+    )
+
+
+def normalize(value):
+    """Strip timing fields recursively; all other structure must match."""
+    if isinstance(value, dict):
+        return {
+            key: normalize(item)
+            for key, item in value.items()
+            if key not in TIMING_KEYS
+        }
+    if isinstance(value, list):
+        return [normalize(item) for item in value]
+    return value
+
+
+def run_scenario(client: SimRankClient) -> list:
+    """Every query kind and every control operation, in a fixed order."""
+    record = []
+
+    def step(label, value):
+        record.append((label, normalize(value)))
+
+    step("hello", client.hello())
+    step("ping", client.ping())
+    step("open", client.open_dataset("GrQc"))
+    step("open-again", client.open_dataset("GrQc"))
+    step("single_pair", client.single_pair("GrQc", 1, 2))
+    unchunked = client.single_source("GrQc", 0)
+    chunked = client.single_source("GrQc", 0, chunk_size=7)
+    assert chunked == unchunked  # chunking must not change the answer
+    step("single_source", unchunked)
+    step("single_source-chunked", chunked)
+    step("top_k", client.top_k("GrQc", 3, 5))
+    step("all_pairs", client.all_pairs("GrQc", chunk_size=11))
+    step("list", client.list_datasets())
+    step("describe-service", client.describe())
+    step("describe-dataset", client.describe("GrQc"))
+    step("stats", client.stats())
+    step("close", client.close_dataset("GrQc"))
+    step("close-again", client.close_dataset("GrQc"))
+
+    # Error envelopes must be identical too (codes and messages).
+    missing = client.execute(TopKQuery("NoSuchDataset", node=0, k=3))
+    step("error-unknown-dataset", (missing.ok, missing.error.code))
+    out_of_range = client.execute(TopKQuery("GrQc", node=10**9, k=3))
+    step("error-out-of-range", (out_of_range.ok, out_of_range.error.code,
+                                out_of_range.error.message))
+
+    step("shutdown", client.shutdown())
+    return record
+
+
+class TestTransportParity:
+    def test_in_process_and_subprocess_records_are_identical(self):
+        with make_client("in_process") as local:
+            local_record = run_scenario(local)
+        with make_client("subprocess") as remote:
+            remote_record = run_scenario(remote)
+        assert [label for label, _ in local_record] == [
+            label for label, _ in remote_record
+        ]
+        for (label, local_value), (_, remote_value) in zip(
+            local_record, remote_record
+        ):
+            assert local_value == remote_value, f"transports diverge at {label!r}"
+
+    def test_scenario_covers_every_kind(self):
+        with make_client("in_process") as client:
+            labels = {label for label, _ in run_scenario(client)}
+        assert {"single_pair", "single_source", "top_k", "all_pairs"} <= labels
+        assert {"ping", "open", "close", "list", "stats", "describe-service",
+                "describe-dataset", "shutdown"} <= labels
+
+
+@pytest.fixture(params=["in_process", "subprocess"])
+def client(request):
+    instance = make_client(request.param)
+    yield instance
+    instance.close()
+
+
+class TestBorrowedService:
+    """A caller-supplied service belongs to the caller, not the client."""
+
+    def test_close_leaves_a_borrowed_services_sessions_alone(self):
+        from repro.service import SimRankService
+
+        service = SimRankService(ServiceConfig(scale=SCALE, seed=SEED))
+        service.open_dataset("GrQc")
+        with SimRankClient.in_process(service) as client:
+            assert client.list_datasets() == ["GrQc"]
+        assert service.list_datasets() == ["GrQc"]  # close() did not tear down
+
+    def test_explicit_shutdown_still_tears_down(self):
+        from repro.service import SimRankService
+
+        service = SimRankService(ServiceConfig(scale=SCALE, seed=SEED))
+        service.open_dataset("GrQc")
+        client = SimRankClient.in_process(service)
+        assert client.shutdown() == {"stopping": True}
+        assert service.list_datasets() == []  # the caller asked for it
+        client.close()
+
+    def test_owned_service_is_torn_down_with_the_client(self):
+        client = SimRankClient.in_process(
+            config=ServiceConfig(scale=SCALE, seed=SEED)
+        )
+        client.open_dataset("GrQc")
+        client.close()
+        assert client.closed
+
+
+class TestClientBehavior:
+    """Per-transport behavior; ``-k subprocess`` is the CI smoke selection."""
+
+    def test_hello_advertises_protocol_and_backends(self, client):
+        hello = client.hello()
+        assert hello["protocol"] == 2
+        assert "sling" in hello["backends"]
+        assert hello["datasets"] == []
+        assert "GrQc" in hello["registry"]
+
+    def test_chunked_single_source_reassembles_exactly(self, client):
+        unchunked = client.single_source("GrQc", 2)
+        chunked = client.single_source("GrQc", 2, chunk_size=5)
+        assert chunked == unchunked
+        assert len(chunked) == client.describe("GrQc")["num_nodes"]
+
+    def test_value_helpers_raise_service_error(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.top_k("NoSuchDataset", 0, 3)
+        assert excinfo.value.code == "unknown_dataset"
+        assert excinfo.value.result.ok is False
+
+    def test_shutdown_then_use_fails_cleanly(self, client):
+        assert client.shutdown() == {"stopping": True}
+        assert client.closed
+        with pytest.raises(ServiceError):
+            client.ping()
+
+    def test_hello_is_a_connect_time_snapshot(self, client):
+        # hello is the handshake, identically on both transports: opening a
+        # dataset afterwards must not change it (live state is describe()).
+        assert client.hello()["datasets"] == []
+        client.open_dataset("GrQc")
+        assert client.hello()["datasets"] == []
+        assert client.describe()["datasets"] == ["GrQc"]
+
+    def test_sessions_persist_between_calls(self, client):
+        client.open_dataset("GrQc")
+        client.single_pair("GrQc", 0, 1)
+        stats = client.stats()
+        assert stats["totals"]["total_queries"] == 1
+        assert client.list_datasets() == ["GrQc"]

@@ -12,7 +12,19 @@ FAST = ["--scale", "0.05", "--epsilon", "0.1", "--mc-walks", "30"]
 
 
 def run_serve(capsys, lines, *extra):
-    """Run ``repro serve`` over a stdin payload; return (exit, envelopes, err)."""
+    """Run ``repro serve`` over a stdin payload; return (exit, envelopes, err).
+
+    ``envelopes`` holds one entry per request, exactly as in protocol v1:
+    protocol frames (the opening ``hello`` handshake, ``partial``/``done``
+    streaming frames) carry a ``frame`` discriminator and are filtered out
+    here; tests that need them use :func:`run_serve_frames`.
+    """
+    exit_code, frames, err = run_serve_frames(capsys, lines, *extra)
+    return exit_code, [f for f in frames if "frame" not in f], err
+
+
+def run_serve_frames(capsys, lines, *extra):
+    """Like :func:`run_serve` but returning every output frame unfiltered."""
     import sys
 
     stdin = sys.stdin
@@ -22,8 +34,8 @@ def run_serve(capsys, lines, *extra):
     finally:
         sys.stdin = stdin
     captured = capsys.readouterr()
-    envelopes = [json.loads(line) for line in captured.out.splitlines() if line]
-    return exit_code, envelopes, captured.err
+    frames = [json.loads(line) for line in captured.out.splitlines() if line]
+    return exit_code, frames, captured.err
 
 
 REQUESTS = [
