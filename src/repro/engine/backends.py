@@ -288,6 +288,12 @@ class SlingBackend(SimilarityBackend):
         """The wrapped SLING index (build statistics, parameters, ...)."""
         return self._index
 
+    @property
+    def packed_store(self):
+        """The frozen columnar store the index answers queries from."""
+        self._require_built()
+        return self._index.packed_store
+
     def build(self) -> "SlingBackend":
         self._index.build()
         self._built = True
@@ -304,6 +310,16 @@ class SlingBackend(SimilarityBackend):
     def index_size_bytes(self) -> int:
         self._require_built()
         return self._index.index_size_bytes()
+
+    def resident_bytes(self) -> int:
+        """Actual in-memory footprint of the packed columns + corrections.
+
+        Unlike :meth:`index_size_bytes` (the logical 12-bytes-per-entry
+        Figure-4 accounting) this is the real allocation the planner's memory
+        budget competes with, read in O(1) off the store's array lengths.
+        """
+        self._require_built()
+        return self._index.resident_bytes()
 
     def average_set_size(self) -> float:
         """Average stored hitting probabilities per node (Table-1 accounting)."""
@@ -346,6 +362,11 @@ class DiskSlingBackend(SimilarityBackend):
         assert self._disk_index is not None
         return self._disk_index
 
+    @property
+    def packed_store(self):
+        """The memory-mapped columnar store backing the disk index."""
+        return self.disk_index.store
+
     def build(self) -> "DiskSlingBackend":
         cfg = self._config
         if cfg.work_directory is not None:
@@ -379,7 +400,11 @@ class DiskSlingBackend(SimilarityBackend):
         return self._total_index_bytes
 
     def resident_bytes(self) -> int:
-        """Main-memory footprint: only the ``8n`` bytes of correction factors."""
+        """Main-memory footprint: only the ``8n`` bytes of correction factors.
+
+        The packed columns are memory-mapped, so their pages live in the
+        kernel's cache, not this process's budget.
+        """
         self._require_built()
         return 8 * self._graph.num_nodes
 

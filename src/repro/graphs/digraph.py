@@ -115,11 +115,30 @@ class DiGraph:
     # Construction helpers
     # ------------------------------------------------------------------ #
     def _validate_edges(self, edges: Iterable[tuple[int, int]]) -> np.ndarray:
-        """Deduplicate and validate the edge list, returning an ``(m, 2)`` array."""
-        pairs = {(int(u), int(v)) for u, v in edges}
-        if not pairs:
+        """Deduplicate and validate the edge list, returning an ``(m, 2)`` array.
+
+        Fully vectorised: the per-edge Python set/``int()`` loop is replaced
+        by one array conversion plus ``np.unique(..., axis=0)``, whose
+        lexicographic order matches the previous ``sorted(set(...))``
+        exactly.  Large edge-list loads thus no longer pay a Python-level
+        cost per edge.
+        """
+        if isinstance(edges, np.ndarray):
+            raw = edges
+        else:
+            raw = np.array(list(edges))
+        if raw.size == 0:
             return np.empty((0, 2), dtype=np.int64)
-        edge_array = np.array(sorted(pairs), dtype=np.int64)
+        if raw.ndim != 2 or raw.shape[1] != 2:
+            raise GraphFormatError(
+                f"edges must be (source, target) pairs, got shape {raw.shape}"
+            )
+        try:
+            # ``unsafe`` truncates floats toward zero, matching ``int()``.
+            edge_array = raw.astype(np.int64, casting="unsafe", copy=False)
+        except (TypeError, ValueError) as exc:
+            raise GraphFormatError(f"edge endpoints must be integers: {exc}") from exc
+        edge_array = np.unique(edge_array, axis=0)
         lo = edge_array.min()
         hi = edge_array.max()
         if lo < 0 or hi >= self._num_nodes:
@@ -317,8 +336,29 @@ class DiGraph:
         )
 
     def is_symmetric(self) -> bool:
-        """Return ``True`` when every edge has its reverse edge (undirected)."""
-        return all(self.has_edge(v, u) for u, v in self.edges())
+        """Return ``True`` when every edge has its reverse edge (undirected).
+
+        Vectorised: both the edge list and its reverse are encoded as
+        ``u·n + v`` keys and the reverse keys are membership-tested against
+        the (already sorted) forward keys with one ``searchsorted`` — no
+        per-edge ``has_edge`` round-trip.
+        """
+        num_edges = self.num_edges
+        if num_edges == 0:
+            return True
+        n = np.int64(self._num_nodes)
+        sources = np.repeat(
+            np.arange(self._num_nodes, dtype=np.int64), self.out_degrees()
+        )
+        targets = self._out_indices
+        # CSR order is (source asc, target asc within source), so the forward
+        # keys are already sorted ascending.
+        forward = sources * n + targets
+        reverse = targets * n + sources
+        positions = np.searchsorted(forward, reverse)
+        if bool((positions == num_edges).any()):
+            return False
+        return bool(np.array_equal(forward[positions], reverse))
 
     def reverse(self) -> "DiGraph":
         """Return a new graph with every edge direction flipped."""

@@ -20,6 +20,13 @@ from .hitting import (
     push_frontier,
     reverse_push,
 )
+from .packed import (
+    PackedHittingStore,
+    QueryView,
+    intersect_views,
+    pack_keys,
+    view_from_hitting_set,
+)
 from .single_source import single_source_local_push
 from .parameters import SlingParameters, theorem1_error_bound
 from .optimizations import AccuracyEnhancer, SpaceReduction
@@ -54,6 +61,11 @@ __all__ = [
     "neighborhood_weight",
     "push_frontier",
     "reverse_push",
+    "PackedHittingStore",
+    "QueryView",
+    "intersect_views",
+    "pack_keys",
+    "view_from_hitting_set",
     "single_source_local_push",
     "SlingParameters",
     "theorem1_error_bound",

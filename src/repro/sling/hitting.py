@@ -156,6 +156,7 @@ def push_frontier(
     frontier_nodes: "np.ndarray",
     frontier_values: "np.ndarray",
     sqrt_c: float,
+    scratch: "np.ndarray | None" = None,
 ) -> tuple["np.ndarray", "np.ndarray"]:
     """Push a weighted frontier one step along out-edges.
 
@@ -165,6 +166,13 @@ def push_frontier(
     Algorithm 2 (reverse push), Algorithm 6 (single-source local push) and the
     accuracy-enhancement expansion; it is fully vectorised over the frontier's
     out-edges.
+
+    ``scratch`` is an optional reusable ``(n,)`` float64 buffer that must be
+    all zeros on entry; it is restored to all zeros before returning, so one
+    per-call buffer can serve every level of a traversal instead of a fresh
+    ``n``-sized allocation per level.  Callers that share a scratch across
+    queries must keep it per-thread (the query paths allocate per call, which
+    preserves thread safety).
 
     Returns the new frontier as ``(nodes, values)`` arrays (possibly empty).
     """
@@ -184,10 +192,20 @@ def push_frontier(
     contributions = (
         sqrt_c * np.repeat(frontier_values, counts) / in_degrees[successors]
     )
-    buffer = np.zeros(graph.num_nodes, dtype=np.float64)
-    np.add.at(buffer, successors, contributions)
-    next_nodes = np.flatnonzero(buffer)
-    return next_nodes, buffer[next_nodes]
+    if scratch is None:
+        buffer = np.zeros(graph.num_nodes, dtype=np.float64)
+        np.add.at(buffer, successors, contributions)
+        next_nodes = np.flatnonzero(buffer)
+        return next_nodes, buffer[next_nodes]
+    if scratch.shape != (graph.num_nodes,):
+        raise ParameterError(
+            f"scratch must have shape ({graph.num_nodes},), got {scratch.shape}"
+        )
+    np.add.at(scratch, successors, contributions)
+    next_nodes = np.flatnonzero(scratch)
+    next_values = scratch[next_nodes]  # fancy indexing copies out of the buffer
+    scratch[successors] = 0.0  # restore the all-zeros invariant
+    return next_nodes, next_values
 
 
 # --------------------------------------------------------------------------- #
@@ -200,6 +218,7 @@ def reverse_push(
     theta: float,
     *,
     max_levels: int | None = None,
+    scratch: "np.ndarray | None" = None,
 ) -> _LevelMap:
     """Reverse local-push traversal from ``target`` (the body of Algorithm 2).
 
@@ -221,12 +240,19 @@ def reverse_push(
     max_levels:
         Optional hard cap on the number of levels (used by tests; the natural
         geometric decay of the residuals terminates the loop on its own).
+    scratch:
+        Optional reusable all-zeros ``(n,)`` buffer threaded through
+        :func:`push_frontier`; one is allocated per call when absent, so the
+        per-level allocation of the original implementation is gone either
+        way.  Keep it per-thread when sharing across calls.
     """
     if theta <= 0.0:
         raise ParameterError(f"theta must be positive, got {theta}")
     if not 0.0 < sqrt_c < 1.0:
         raise ParameterError(f"sqrt_c must be in (0, 1), got {sqrt_c}")
     graph.in_degree(target)  # validates the node id
+    if scratch is None:
+        scratch = np.zeros(graph.num_nodes, dtype=np.float64)
 
     result: _LevelMap = {}
 
@@ -246,7 +272,7 @@ def reverse_push(
             break
         result[level] = dict(zip(kept_nodes.tolist(), kept_values.tolist()))
         frontier_nodes, frontier_values = push_frontier(
-            graph, kept_nodes, kept_values, sqrt_c
+            graph, kept_nodes, kept_values, sqrt_c, scratch=scratch
         )
         level += 1
     return result
@@ -272,8 +298,10 @@ def build_hitting_sets(
     """
     hitting_sets = [HittingProbabilitySet() for _ in range(graph.num_nodes)]
     target_iter = graph.nodes() if targets is None else targets
+    # One scratch buffer serves every push of this (single-threaded) build.
+    scratch = np.zeros(graph.num_nodes, dtype=np.float64)
     for target in target_iter:
-        per_level = reverse_push(graph, int(target), sqrt_c, theta)
+        per_level = reverse_push(graph, int(target), sqrt_c, theta, scratch=scratch)
         for level, entries in per_level.items():
             for source, value in entries.items():
                 hitting_sets[source].set(level, int(target), value)

@@ -30,8 +30,14 @@ from ..exceptions import IndexNotBuiltError, ParameterError
 from ..graphs import DiGraph
 from ..ranking import rank_top_k
 from .correction import estimate_all_correction_factors
-from .hitting import HittingProbabilitySet, build_hitting_sets
+from .hitting import HittingProbabilitySet, build_hitting_sets, exact_near_hops
 from .optimizations import AccuracyEnhancer, SpaceReduction
+from .packed import (
+    PackedHittingStore,
+    QueryView,
+    intersect_views,
+    view_from_hitting_set,
+)
 from .parameters import SlingParameters
 from .single_source import single_source_local_push
 from .walks import SqrtCWalker
@@ -138,6 +144,8 @@ class SlingIndex:
         self._enhance_accuracy = enhance_accuracy
 
         self._corrections: np.ndarray | None = None
+        self._store: PackedHittingStore | None = None
+        #: Lazy dict-based compatibility view of the packed store.
         self._hitting_sets: list[HittingProbabilitySet] | None = None
         self._reduced: np.ndarray | None = None
         self._space_reduction: SpaceReduction | None = None
@@ -160,7 +168,9 @@ class SlingIndex:
     @property
     def is_built(self) -> bool:
         """Whether :meth:`build` has completed."""
-        return self._corrections is not None and self._hitting_sets is not None
+        return self._corrections is not None and (
+            self._store is not None or self._hitting_sets is not None
+        )
 
     @property
     def build_statistics(self) -> BuildStatistics:
@@ -177,10 +187,26 @@ class SlingIndex:
         return self._corrections
 
     @property
-    def hitting_sets(self) -> list[HittingProbabilitySet]:
-        """The stored per-node hitting-probability sets ``H(v)``."""
+    def packed_store(self) -> PackedHittingStore:
+        """The frozen columnar store all queries read (the real index)."""
         self._require_built()
-        assert self._hitting_sets is not None
+        if self._store is None:
+            # Legacy path: hitting sets were attached directly; freeze them.
+            assert self._hitting_sets is not None
+            self._store = PackedHittingStore.from_hitting_sets(self._hitting_sets)
+        return self._store
+
+    @property
+    def hitting_sets(self) -> list[HittingProbabilitySet]:
+        """Dict-based compatibility view of the stored sets ``H(v)``.
+
+        Materialised lazily from :attr:`packed_store` on first access; it is
+        a read-only snapshot — mutating the returned sets does not affect
+        queries, which run on the packed columns.
+        """
+        self._require_built()
+        if self._hitting_sets is None:
+            self._hitting_sets = self.packed_store.to_hitting_sets()
         return self._hitting_sets
 
     def _require_built(self) -> None:
@@ -246,14 +272,23 @@ class SlingIndex:
             self._space_reduction = SpaceReduction(theta=params.theta)
             reduced = self._space_reduction.apply(self._graph, hitting_sets)
             num_reduced = int(reduced.sum())
+
+        # Freeze the mutable build-time dicts into the packed columnar store;
+        # everything downstream (queries, persistence, size accounting) reads
+        # the flat arrays.
+        start_pack = time.perf_counter()
+        store = PackedHittingStore.from_hitting_sets(hitting_sets)
+        pack_seconds = time.perf_counter() - start_pack
+
         enhancer = None
         if self._enhance_accuracy:
             enhancer = AccuracyEnhancer(self._graph, params.epsilon, params.sqrt_c)
-            enhancer.mark_all(hitting_sets)
+            enhancer.mark_all_packed(store)
         optimization_seconds = time.perf_counter() - start
 
         self._corrections = corrections
-        self._hitting_sets = hitting_sets
+        self._store = store
+        self._hitting_sets = None  # compatibility view rematerialises lazily
         self._reduced = reduced
         self._enhancer = enhancer
         self._build_stats = BuildStatistics(
@@ -261,26 +296,65 @@ class SlingIndex:
             hitting_seconds=hitting_seconds,
             optimization_seconds=optimization_seconds,
             total_seconds=time.perf_counter() - start_total,
-            num_hitting_entries=sum(len(hs) for hs in hitting_sets),
+            num_hitting_entries=store.num_entries,
             num_reduced_nodes=num_reduced,
             workers=workers,
+            extra={"pack_seconds": pack_seconds},
         )
         return self
 
     # ------------------------------------------------------------------ #
     # Query-time hitting sets (with optimizations applied)
     # ------------------------------------------------------------------ #
+    def _query_view(self, node: int) -> QueryView:
+        """The packed view actually used to answer a query from ``node``.
+
+        Starts from a zero-copy slice of the store and composes, in order,
+        the space-reduction reconstruction (exact step-0/1/2 values via
+        Algorithm 5) and the accuracy enhancement ``H*(v)`` as small
+        copy-on-write overlays — no dicts are rebuilt on the hot path.
+        """
+        self._require_built()
+        node = int(node)
+        self._graph.in_degree(node)  # validates the node id
+        view = self.packed_store.node_view(node)
+        if (
+            self._reduced is not None
+            and self._space_reduction is not None
+            and self._reduced[node]
+        ):
+            exact = exact_near_hops(self._graph, node, self._params.sqrt_c)
+            view = view.override(
+                (level, target, value)
+                for level, entries in exact.items()
+                for target, value in entries.items()
+            )
+        if self._enhancer is not None:
+            generated = self._enhancer.generated_entries(node, view.contains)
+            if generated:
+                view = view.override(
+                    (level, target, value)
+                    for (level, target), value in generated.items()
+                )
+        return view
+
     def query_hitting_set(self, node: int) -> HittingProbabilitySet:
         """The hitting set actually used to answer a query from ``node``.
 
         Applies, in order, the space-reduction reconstruction (exact step-1/2
-        values via Algorithm 5) and the accuracy enhancement ``H*(v)``.
+        values via Algorithm 5) and the accuracy enhancement ``H*(v)``.  This
+        is the dict-based compatibility twin of :meth:`_query_view`; the two
+        compose identical entries (the parity suite asserts it).
         """
         self._require_built()
-        assert self._hitting_sets is not None
         node = int(node)
         self._graph.in_degree(node)  # validates the node id
-        effective = self._hitting_sets[node]
+        # Materialise only the requested node's set; the full hitting_sets
+        # list is built lazily elsewhere and reused here once it exists.
+        if self._hitting_sets is not None:
+            effective = self._hitting_sets[node]
+        else:
+            effective = self.packed_store.hitting_set(node)
         if (
             self._reduced is not None
             and self._space_reduction is not None
@@ -299,33 +373,26 @@ class SlingIndex:
     def single_pair(self, node_u: int, node_v: int) -> float:
         """Approximate SimRank ``s̃(u, v)`` with at most ``ε`` additive error.
 
-        Implements Algorithm 3: intersect ``H(u)`` and ``H(v)`` on (step,
-        node) positions and sum ``h̃^(ℓ)(u, k) · d̃_k · h̃^(ℓ)(v, k)``.
+        Implements Algorithm 3 on the packed store: one sorted-key
+        intersection of the two views' combined-key columns, then a single
+        dot product with ``corrections[targets]``.
         """
         self._require_built()
         assert self._corrections is not None
-        set_u = self.query_hitting_set(node_u)
-        set_v = self.query_hitting_set(node_v)
-        return self._intersect_score(set_u, set_v)
+        return intersect_views(
+            self._query_view(node_u), self._query_view(node_v), self._corrections
+        )
 
     def _intersect_score(
         self, set_u: HittingProbabilitySet, set_v: HittingProbabilitySet
     ) -> float:
+        """Algorithm 3 over dict-based sets (compatibility/reference path)."""
         assert self._corrections is not None
-        corrections = self._corrections
-        score = 0.0
-        for level, entries_u in set_u.levels.items():
-            entries_v = set_v.levels.get(level)
-            if not entries_v:
-                continue
-            # Iterate over the smaller side of the intersection.
-            if len(entries_v) < len(entries_u):
-                entries_u, entries_v = entries_v, entries_u
-            for target, value_u in entries_u.items():
-                value_v = entries_v.get(target)
-                if value_v is not None:
-                    score += value_u * corrections[target] * value_v
-        return min(1.0, score)
+        return intersect_views(
+            view_from_hitting_set(set_u),
+            view_from_hitting_set(set_v),
+            self._corrections,
+        )
 
     # ------------------------------------------------------------------ #
     # Single-source queries (Section 6)
@@ -353,11 +420,12 @@ class SlingIndex:
 
     def _single_source_pairwise(self, node: int) -> np.ndarray:
         self._require_built()
+        assert self._corrections is not None
         scores = np.zeros(self._graph.num_nodes, dtype=np.float64)
-        set_u = self.query_hitting_set(node)
+        view_u = self._query_view(node)
         for other in self._graph.nodes():
-            scores[other] = self._intersect_score(
-                set_u, self.query_hitting_set(other)
+            scores[other] = intersect_views(
+                view_u, self._query_view(other), self._corrections
             )
         return scores
 
@@ -367,7 +435,7 @@ class SlingIndex:
         assert self._corrections is not None
         return single_source_local_push(
             self._graph,
-            self.query_hitting_set(node),
+            self._query_view(node),
             self._corrections,
             self._params.sqrt_c,
             self._params.theta,
@@ -404,18 +472,28 @@ class SlingIndex:
 
         Matches the packed on-disk layout of :mod:`repro.sling.storage`
         (8 bytes per correction factor, 12 bytes per hitting-probability
-        entry), which is the quantity Figure 4 of the paper reports.
+        entry), which is the quantity Figure 4 of the paper reports.  O(1):
+        read straight off the packed store's array lengths.
         """
         self._require_built()
-        assert self._hitting_sets is not None
         correction_bytes = 8 * self._graph.num_nodes
-        hitting_bytes = sum(hs.size_bytes() for hs in self._hitting_sets)
-        return correction_bytes + hitting_bytes
+        return correction_bytes + self.packed_store.size_bytes()
+
+    def resident_bytes(self) -> int:
+        """Actual in-memory footprint of the built index's arrays.
+
+        Correction factors plus every packed column (including the combined
+        keys column).  For an index loaded with ``mmap_mode`` this counts the
+        mapped extent, not resident pages.
+        """
+        self._require_built()
+        assert self._corrections is not None
+        return int(self._corrections.nbytes) + self.packed_store.nbytes
 
     def average_set_size(self) -> float:
-        """Average number of stored hitting probabilities per node."""
+        """Average number of stored hitting probabilities per node (O(1))."""
         self._require_built()
-        assert self._hitting_sets is not None
-        if not self._hitting_sets:
+        store = self.packed_store
+        if store.num_nodes == 0:
             return 0.0
-        return sum(len(hs) for hs in self._hitting_sets) / len(self._hitting_sets)
+        return store.num_entries / store.num_nodes

@@ -140,25 +140,85 @@ class AccuracyEnhancer:
         """The marked ``(level, target, value)`` entries of ``node``."""
         return self._marks.get(int(node), [])
 
+    @property
+    def has_marks(self) -> bool:
+        """Whether any node has marked entries."""
+        return bool(self._marks)
+
     # ------------------------------------------------------------------ #
     def mark_all(self, hitting_sets: list[HittingProbabilitySet]) -> None:
         """Select the marked entries of every node (done once, at build time).
 
         Only entries whose target has in-degree at most ``1/√ε`` are eligible
         (expanding a high-in-degree target would blow the query budget); among
-        those the ``1/√ε`` largest are marked.
+        those the ``1/√ε`` largest are marked.  Delegates to
+        :meth:`mark_all_packed` over a frozen copy of the sets, so value ties
+        break identically no matter which API selected the marks.
+        """
+        from .packed import PackedHittingStore
+
+        self.mark_all_packed(PackedHittingStore.from_hitting_sets(hitting_sets))
+
+    def mark_all_packed(self, store) -> None:
+        """Select the marked entries of every node from a packed store.
+
+        Same policy as :meth:`mark_all`, but reading the frozen
+        :class:`~repro.sling.packed.PackedHittingStore` columns.  Candidate
+        entries are visited in canonical (key-sorted) order, so an index
+        built in memory and one loaded from disk mark identical entries —
+        including value ties — and answer queries bitwise-identically.
         """
         in_degrees = self._graph.in_degrees()
-        for node, hitting_set in enumerate(hitting_sets):
-            eligible = [
-                (level, target, value)
-                for level, target, value in hitting_set.items()
-                if in_degrees[target] <= self._budget
+        for node in range(store.num_nodes):
+            levels, targets, values = store.node_entries(node)
+            if targets.shape[0] == 0:
+                continue
+            eligible = in_degrees[targets] <= self._budget
+            if not bool(eligible.any()):
+                continue
+            el_levels = levels[eligible]
+            el_targets = targets[eligible]
+            el_values = values[eligible]
+            # Stable sort by value descending keeps the canonical key order
+            # among ties, matching the dict path's stable list sort.
+            order = np.argsort(-el_values, kind="stable")[: self._budget]
+            self._marks[node] = [
+                (int(el_levels[i]), int(el_targets[i]), float(el_values[i]))
+                for i in order
             ]
-            eligible.sort(key=lambda item: item[2], reverse=True)
-            marked = eligible[: self._budget]
-            if marked:
-                self._marks[node] = marked
+
+    def generated_entries(
+        self, node: int, contains
+    ) -> dict[tuple[int, int], float]:
+        """The positions the enhancement would generate for one query.
+
+        ``contains(level, target)`` reports whether the query's current set
+        already stores a positive probability at that position (those are
+        left untouched — the stored approximation is at least as good).  The
+        returned mapping accumulates ``√c · h̃^(ℓ)(v, v_j) / |I(v_j)|`` per
+        generated position, in mark order, and is shared by the dict-based
+        :meth:`enhance` and the packed overlay path so both produce identical
+        values.
+        """
+        marks = self._marks.get(int(node))
+        if not marks:
+            return {}
+        generated: dict[tuple[int, int], float] = {}
+        for level, target, value in marks:
+            in_neighbors = self._graph.in_neighbors(target)
+            if in_neighbors.shape[0] == 0:
+                continue
+            contribution = self._sqrt_c * value / in_neighbors.shape[0]
+            for predecessor in in_neighbors:
+                predecessor = int(predecessor)
+                key = (level + 1, predecessor)
+                if contains(level + 1, predecessor):
+                    continue
+                if key in generated:
+                    generated[key] += contribution
+                else:
+                    generated[key] = contribution
+        return generated
 
     def enhance(
         self, node: int, hitting_set: HittingProbabilitySet
@@ -170,24 +230,14 @@ class AccuracyEnhancer:
         set are left untouched (the stored approximation is at least as good),
         new positions accumulate ``√c · h̃^(ℓ)(v, v_j) / |I(v_j)|``.
         """
-        marks = self._marks.get(int(node))
-        if not marks:
+        if not self._marks.get(int(node)):
             return hitting_set
+        generated = self.generated_entries(
+            node, lambda level, target: hitting_set.get(level, target) > 0.0
+        )
+        if not generated:
+            return hitting_set.copy()
         enhanced = hitting_set.copy()
-        generated: set[tuple[int, int]] = set()
-        for level, target, value in marks:
-            in_neighbors = self._graph.in_neighbors(target)
-            if in_neighbors.shape[0] == 0:
-                continue
-            contribution = self._sqrt_c * value / in_neighbors.shape[0]
-            for predecessor in in_neighbors:
-                predecessor = int(predecessor)
-                key = (level + 1, predecessor)
-                if hitting_set.get(level + 1, predecessor) > 0.0:
-                    continue
-                if key in generated:
-                    enhanced.add(level + 1, predecessor, contribution)
-                else:
-                    enhanced.set(level + 1, predecessor, contribution)
-                    generated.add(key)
+        for (level, target), value in generated.items():
+            enhanced.set(level, target, value)
         return enhanced

@@ -9,6 +9,13 @@ temporary score ``ρ^(0)(v_k) = h̃^(ℓ)(v_i, v_k) · d_k`` is pushed forward
 to ``s(v_i, v_j)``.  Scores smaller than ``(√c)^ℓ · θ`` are pruned during the
 push, which is what yields the ``O(m log² 1/ε)`` bound of Lemma 12.
 
+The query set may be a packed :class:`~repro.sling.packed.QueryView` — the
+native representation, whose per-level frontiers are zero-copy column slices —
+or a dict-based :class:`~repro.sling.hitting.HittingProbabilitySet`, which is
+first converted to the same canonical (key-sorted) ordering.  Both paths
+therefore execute identical numpy operations on identically ordered arrays
+and return bitwise-identical scores for the same entries.
+
 The function is shared by :class:`repro.sling.index.SlingIndex` and by the
 disk-backed query engine in :mod:`repro.sling.storage`.
 """
@@ -19,16 +26,19 @@ import numpy as np
 
 from ..graphs import DiGraph
 from .hitting import HittingProbabilitySet, push_frontier
+from .packed import QueryView, view_from_hitting_set
 
 __all__ = ["single_source_local_push"]
 
 
 def single_source_local_push(
     graph: DiGraph,
-    query_set: HittingProbabilitySet,
+    query_set: HittingProbabilitySet | QueryView,
     corrections: np.ndarray,
     sqrt_c: float,
     theta: float,
+    *,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
     """Algorithm 6: SimRank from the query node to every node.
 
@@ -37,27 +47,36 @@ def single_source_local_push(
     graph:
         The indexed graph.
     query_set:
-        The (possibly reconstructed / enhanced) hitting set of the query node.
+        The (possibly reconstructed / enhanced) hitting set of the query
+        node — either a packed :class:`QueryView` (zero-copy frontier
+        initialisation) or a dict-based :class:`HittingProbabilitySet`.
     corrections:
         The ``(n,)`` array of correction factors ``d̃_k``.
     sqrt_c, theta:
         The index parameters ``√c`` and ``θ``.
+    scratch:
+        Optional reusable all-zeros ``(n,)`` buffer for the push steps; one
+        is allocated per call when absent, so concurrent queries never share
+        mutable state.
 
     Returns
     -------
     numpy.ndarray
         An ``(n,)`` array of approximate SimRank scores, clamped to ``[0, 1]``.
     """
+    view = (
+        view_from_hitting_set(query_set)
+        if isinstance(query_set, HittingProbabilitySet)
+        else query_set
+    )
     scores = np.zeros(graph.num_nodes, dtype=np.float64)
-    for level, entries in sorted(query_set.levels.items()):
-        if not entries:
-            continue
-        frontier_nodes = np.fromiter(entries.keys(), dtype=np.int64, count=len(entries))
-        frontier_values = np.fromiter(
-            entries.values(), dtype=np.float64, count=len(entries)
-        )
-        # ρ^(0)(v_k) = h̃^(ℓ)(v_i, v_k) · d_k
-        frontier_values = frontier_values * corrections[frontier_nodes]
+    if scratch is None:
+        scratch = np.zeros(graph.num_nodes, dtype=np.float64)
+    for level, targets, values in view.iter_levels():
+        frontier_nodes = targets.astype(np.int64)
+        # ρ^(0)(v_k) = h̃^(ℓ)(v_i, v_k) · d_k  (fresh array; the view's
+        # columns — possibly memory-mapped store slices — are never written)
+        frontier_values = np.asarray(values) * corrections[frontier_nodes]
         prune_threshold = (sqrt_c**level) * theta
         for _ in range(level):
             keep = frontier_values > prune_threshold
@@ -66,7 +85,7 @@ def single_source_local_push(
             if frontier_nodes.size == 0:
                 break
             frontier_nodes, frontier_values = push_frontier(
-                graph, frontier_nodes, frontier_values, sqrt_c
+                graph, frontier_nodes, frontier_values, sqrt_c, scratch=scratch
             )
         if frontier_nodes.size:
             np.add.at(scores, frontier_nodes, frontier_values)

@@ -7,15 +7,22 @@ The paper notes that SLING does not need the whole index in main memory:
 * during construction the per-target residual sets ``R_k`` can be streamed to
   disk and an external sort by source node then produces the per-source sets.
 
-This module implements both sides:
+This module implements both sides on top of the packed columnar store of
+:mod:`repro.sling.packed`:
 
-* :func:`save_index` / :func:`load_index` — a packed on-disk format
-  (numpy arrays + JSON metadata) for a built :class:`SlingIndex`,
+* :func:`save_index` / :func:`load_index` — the store's flat arrays are
+  written as individual ``.npy`` files (format version 2) and loaded back
+  with ``np.load(..., mmap_mode="r")``: **no dict round-trip**, so loading is
+  O(1)-ish in index size and queries fault in only the pages they slice,
 * :class:`DiskBackedIndex` — answers single-pair and single-source queries by
-  reading only the two (resp. one) required hitting sets from disk,
+  slicing the memory-mapped columns directly (two slices per pair query),
 * :func:`out_of_core_build` — Algorithm 2 with a bounded in-memory buffer:
-  records are spilled to sorted run files and merged, mimicking the Figure-10
-  experiment where the memory buffer is varied from 256 MB down.
+  records are spilled to sorted run files and merged straight into the packed
+  store, mimicking the Figure-10 experiment where the memory buffer is varied
+  from 256 MB down.
+
+Version-1 directories (one compressed ``sling_data.npz``) are still readable;
+their columns are re-sorted into the packed key order at load time.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from ..graphs import DiGraph
 from .correction import estimate_all_correction_factors
 from .hitting import HittingProbabilitySet, reverse_push
 from .index import SlingIndex
+from .packed import PackedHittingStore, intersect_views
 from .parameters import SlingParameters
 from .single_source import single_source_local_push
 from .walks import SqrtCWalker
@@ -48,76 +56,43 @@ __all__ = [
 ]
 
 _META_FILE = "sling_meta.json"
-_DATA_FILE = "sling_data.npz"
+#: Version-1 archive (kept readable for old index directories).
+_LEGACY_DATA_FILE = "sling_data.npz"
+_CORRECTIONS_FILE = "sling_corrections.npy"
+_REDUCED_FILE = "sling_reduced.npy"
+#: Current on-disk format: per-column ``.npy`` files, memory-mappable.
+FORMAT_VERSION = 2
 #: On-disk size of one hitting-probability record: source, level, target, value.
 _RECORD_STRUCT = struct.Struct("<iiif")
 RECORD_BYTES = _RECORD_STRUCT.size
 
 
 # --------------------------------------------------------------------------- #
-# Flat packed representation of all hitting sets
-# --------------------------------------------------------------------------- #
-def _pack_hitting_sets(
-    hitting_sets: list[HittingProbabilitySet],
-) -> dict[str, np.ndarray]:
-    """Flatten per-node hitting sets into CSR-style arrays sorted by node."""
-    counts = np.array([len(hs) for hs in hitting_sets], dtype=np.int64)
-    offsets = np.zeros(len(hitting_sets) + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    total = int(offsets[-1])
-    levels = np.empty(total, dtype=np.int32)
-    targets = np.empty(total, dtype=np.int32)
-    values = np.empty(total, dtype=np.float64)
-    cursor = 0
-    for hitting_set in hitting_sets:
-        for level, target, value in hitting_set.items():
-            levels[cursor] = level
-            targets[cursor] = target
-            values[cursor] = value
-            cursor += 1
-    return {
-        "offsets": offsets,
-        "levels": levels,
-        "targets": targets,
-        "values": values,
-    }
-
-
-def _unpack_hitting_set(
-    packed: dict[str, np.ndarray], node: int
-) -> HittingProbabilitySet:
-    start = int(packed["offsets"][node])
-    stop = int(packed["offsets"][node + 1])
-    hitting_set = HittingProbabilitySet()
-    levels = packed["levels"][start:stop]
-    targets = packed["targets"][start:stop]
-    values = packed["values"][start:stop]
-    for level, target, value in zip(levels, targets, values):
-        hitting_set.set(int(level), int(target), float(value))
-    return hitting_set
-
-
-# --------------------------------------------------------------------------- #
 # Save / load
 # --------------------------------------------------------------------------- #
 def save_index(index: SlingIndex, directory: str | Path) -> Path:
-    """Serialize a built index to ``directory`` (created if missing)."""
+    """Serialize a built index to ``directory`` (created if missing).
+
+    The packed store's columns are written directly as uncompressed ``.npy``
+    files — the on-disk layout *is* the query-time layout, which is what
+    makes the zero-copy ``mmap`` load possible.
+    """
     if not index.is_built:
         raise StorageError("cannot save an index that has not been built")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
-    packed = _pack_hitting_sets(index.hitting_sets)
-    reduced = index._reduced if index._reduced is not None else np.zeros(0, dtype=bool)
-    np.savez_compressed(
-        directory / _DATA_FILE,
-        corrections=index.correction_factors,
-        reduced=reduced,
-        **packed,
+    index.packed_store.save(directory)
+    np.save(directory / _CORRECTIONS_FILE, index.correction_factors)
+    reduced = (
+        index._reduced
+        if index._reduced is not None
+        else np.zeros(index.graph.num_nodes, dtype=bool)
     )
+    np.save(directory / _REDUCED_FILE, reduced)
     params = index.parameters
     meta = {
-        "format_version": 1,
+        "format_version": FORMAT_VERSION,
         "num_nodes": index.graph.num_nodes,
         "num_edges": index.graph.num_edges,
         "c": params.c,
@@ -143,8 +118,53 @@ def _read_meta(directory: Path) -> dict:
         raise StorageError(f"corrupt index metadata at {meta_path}: {exc}") from exc
 
 
-def load_index(directory: str | Path, graph: DiGraph) -> SlingIndex:
+def _params_from_meta(meta: dict) -> SlingParameters:
+    return SlingParameters(
+        c=meta["c"],
+        epsilon=meta["epsilon"],
+        delta=meta["delta"],
+        epsilon_d=meta["epsilon_d"],
+        theta=meta["theta"],
+        delta_d=meta["delta_d"],
+    )
+
+
+def _load_arrays(
+    directory: Path, meta: dict, *, mmap_mode: str | None
+) -> tuple[np.ndarray, PackedHittingStore, np.ndarray]:
+    """Read ``(corrections, store, reduced)`` for either format version."""
+    version = int(meta.get("format_version", 1))
+    if version >= 2:
+        corrections_path = directory / _CORRECTIONS_FILE
+        if not corrections_path.exists():
+            raise StorageError(f"missing correction factors at {corrections_path}")
+        corrections = np.load(corrections_path)
+        store = PackedHittingStore.load(directory, mmap_mode=mmap_mode)
+        reduced = np.load(directory / _REDUCED_FILE)
+        return corrections, store, np.asarray(reduced, dtype=bool)
+    # Version 1: one compressed npz with node-grouped but key-unsorted columns.
+    data_path = directory / _LEGACY_DATA_FILE
+    if not data_path.exists():
+        raise StorageError(f"missing packed index data at {data_path}")
+    data = np.load(data_path)
+    store = PackedHittingStore.from_columns(
+        data["offsets"], data["levels"], data["targets"], data["values"]
+    )
+    reduced = data["reduced"]
+    if reduced.shape[0] == 0:
+        reduced = np.zeros(store.num_nodes, dtype=bool)
+    return data["corrections"], store, np.asarray(reduced, dtype=bool)
+
+
+def load_index(
+    directory: str | Path, graph: DiGraph, *, mmap_mode: str | None = "r"
+) -> SlingIndex:
     """Load a previously saved index and attach it to ``graph``.
+
+    With the default ``mmap_mode="r"`` the packed columns are memory-mapped,
+    not read: the load touches only file headers plus the ``8n`` bytes of
+    correction factors, and subsequent queries slice pages in on demand.
+    Pass ``mmap_mode=None`` to read everything eagerly into RAM.
 
     The graph must be the one the index was built on (node and edge counts are
     verified); loading against a different graph raises :class:`StorageError`.
@@ -157,37 +177,30 @@ def load_index(directory: str | Path, graph: DiGraph) -> SlingIndex:
             f"n={meta['num_nodes']}, m={meta['num_edges']} but the supplied graph "
             f"has n={graph.num_nodes}, m={graph.num_edges}"
         )
-    data = np.load(directory / _DATA_FILE)
-    params = SlingParameters(
-        c=meta["c"],
-        epsilon=meta["epsilon"],
-        delta=meta["delta"],
-        epsilon_d=meta["epsilon_d"],
-        theta=meta["theta"],
-        delta_d=meta["delta_d"],
-    )
+    corrections, store, reduced = _load_arrays(directory, meta, mmap_mode=mmap_mode)
     index = SlingIndex(
         graph,
-        parameters=params,
+        parameters=_params_from_meta(meta),
         reduce_space=meta["reduce_space"],
         enhance_accuracy=meta["enhance_accuracy"],
     )
-    packed = {key: data[key] for key in ("offsets", "levels", "targets", "values")}
-    hitting_sets = [
-        _unpack_hitting_set(packed, node) for node in range(graph.num_nodes)
-    ]
-    index._corrections = data["corrections"]
-    index._hitting_sets = hitting_sets
+    index._corrections = corrections
+    index._store = store
     if meta["reduce_space"]:
         from .optimizations import SpaceReduction
 
-        index._space_reduction = SpaceReduction(theta=params.theta)
-        index._reduced = data["reduced"].astype(bool)
+        index._space_reduction = SpaceReduction(theta=index.parameters.theta)
+        index._reduced = reduced
     if meta["enhance_accuracy"]:
         from .optimizations import AccuracyEnhancer
 
-        enhancer = AccuracyEnhancer(graph, params.epsilon, params.sqrt_c)
-        enhancer.mark_all(hitting_sets)
+        enhancer = AccuracyEnhancer(
+            graph, index.parameters.epsilon, index.parameters.sqrt_c
+        )
+        # Marks are selected from the store in canonical key order, exactly
+        # as SlingIndex.build does — a loaded index answers queries
+        # bitwise-identically to the index that was saved.
+        enhancer.mark_all_packed(store)
         index._enhancer = enhancer
     return index
 
@@ -198,9 +211,10 @@ def load_index(directory: str | Path, graph: DiGraph) -> SlingIndex:
 class DiskBackedIndex:
     """Answer SimRank queries while keeping hitting sets on disk.
 
-    Only the correction factors (8 bytes per node) are held in memory; every
-    single-pair query reads exactly two hitting sets from the memory-mapped
-    data file, matching the constant-I/O argument of Section 5.4.
+    Only the correction factors (8 bytes per node) are held in memory; the
+    packed columns stay memory-mapped, and every single-pair query slices
+    exactly two per-node segments out of them — the constant-I/O argument of
+    Section 5.4, now with zero per-query deserialisation.
     """
 
     def __init__(self, directory: str | Path, graph: DiGraph) -> None:
@@ -211,20 +225,10 @@ class DiskBackedIndex:
                 "graph mismatch between the stored index and the supplied graph"
             )
         self._graph = graph
-        self._params = SlingParameters(
-            c=meta["c"],
-            epsilon=meta["epsilon"],
-            delta=meta["delta"],
-            epsilon_d=meta["epsilon_d"],
-            theta=meta["theta"],
-            delta_d=meta["delta_d"],
+        self._params = _params_from_meta(meta)
+        self._corrections, self._store, _ = _load_arrays(
+            directory, meta, mmap_mode="r"
         )
-        data = np.load(directory / _DATA_FILE)
-        self._corrections = data["corrections"]
-        self._offsets = data["offsets"]
-        self._levels = data["levels"]
-        self._targets = data["targets"]
-        self._values = data["values"]
         self._reads = 0
         # The packed arrays are read-only at query time, so concurrent queries
         # are safe; only this I/O counter is mutable and needs the lock.
@@ -236,44 +240,39 @@ class DiskBackedIndex:
         return self._params
 
     @property
+    def store(self) -> PackedHittingStore:
+        """The memory-mapped packed store backing all queries."""
+        return self._store
+
+    @property
     def num_set_reads(self) -> int:
-        """Number of hitting sets materialised so far (I/O accounting)."""
+        """Number of hitting sets fetched so far (I/O accounting)."""
         return self._reads
 
-    def _load_set(self, node: int) -> HittingProbabilitySet:
+    def _load_view(self, node: int):
         self._graph.in_degree(node)  # validates the node id
         with self._reads_lock:
             self._reads += 1
-        packed = {
-            "offsets": self._offsets,
-            "levels": self._levels,
-            "targets": self._targets,
-            "values": self._values,
-        }
-        return _unpack_hitting_set(packed, int(node))
+        return self._store.node_view(int(node))
+
+    def _load_set(self, node: int) -> HittingProbabilitySet:
+        """Materialise one node's set as a dict (compatibility helper)."""
+        self._graph.in_degree(node)  # validates the node id
+        with self._reads_lock:
+            self._reads += 1
+        return self._store.hitting_set(int(node))
 
     def single_pair(self, node_u: int, node_v: int) -> float:
-        """Algorithm 3 over disk-resident hitting sets."""
-        set_u = self._load_set(node_u)
-        set_v = self._load_set(node_v)
-        score = 0.0
-        for level, entries_u in set_u.levels.items():
-            entries_v = set_v.levels.get(level)
-            if not entries_v:
-                continue
-            if len(entries_v) < len(entries_u):
-                entries_u, entries_v = entries_v, entries_u
-            for target, value_u in entries_u.items():
-                value_v = entries_v.get(target)
-                if value_v is not None:
-                    score += value_u * self._corrections[target] * value_v
-        return min(1.0, score)
+        """Algorithm 3 over two mmap-backed column slices."""
+        view_u = self._load_view(node_u)
+        view_v = self._load_view(node_v)
+        return intersect_views(view_u, view_v, self._corrections)
 
     def single_source(self, node: int) -> np.ndarray:
-        """Algorithm 6 over a disk-resident hitting set for the query node."""
+        """Algorithm 6 over a mmap-backed column slice for the query node."""
         return single_source_local_push(
             self._graph,
-            self._load_set(node),
+            self._load_view(node),
             self._corrections,
             self._params.sqrt_c,
             self._params.theta,
@@ -328,7 +327,8 @@ def out_of_core_build(
     ``8n`` bytes); the hitting-probability records produced by the reverse
     pushes are buffered, spilled to sorted run files whenever the buffer
     exceeds ``buffer_bytes``, and finally merged with a k-way external merge
-    into the packed index format of :func:`save_index`.
+    **directly into the packed columnar store** of :func:`save_index` — the
+    merged stream never materialises per-node dicts.
 
     Returns an :class:`OutOfCoreBuildReport`; the finished index can then be
     queried via :class:`DiskBackedIndex` or loaded with :func:`load_index`.
@@ -357,8 +357,11 @@ def out_of_core_build(
     num_records = 0
 
     start = time.perf_counter()
+    scratch = np.zeros(graph.num_nodes, dtype=np.float64)
     for target in graph.nodes():
-        per_level = reverse_push(graph, target, params.sqrt_c, params.theta)
+        per_level = reverse_push(
+            graph, target, params.sqrt_c, params.theta, scratch=scratch
+        )
         for level, entries in per_level.items():
             for source, value in entries.items():
                 buffer.append((source, level, target, float(value)))
@@ -379,14 +382,23 @@ def out_of_core_build(
     merged = heapq.merge(
         *[_iter_run(path) for path in run_paths], key=lambda record: record[0]
     )
-    hitting_sets = [HittingProbabilitySet() for _ in range(graph.num_nodes)]
-    for source, level, target, value in merged:
-        hitting_sets[source].set(level, target, value)
+    sources = np.empty(num_records, dtype=np.int64)
+    levels = np.empty(num_records, dtype=np.int32)
+    targets = np.empty(num_records, dtype=np.int32)
+    values = np.empty(num_records, dtype=np.float64)
+    for cursor, (source, level, target, value) in enumerate(merged):
+        sources[cursor] = source
+        levels[cursor] = level
+        targets[cursor] = target
+        values[cursor] = value
+    store = PackedHittingStore.from_records(
+        graph.num_nodes, sources, levels, targets, values
+    )
     merge_seconds = time.perf_counter() - start
 
     index = SlingIndex(graph, parameters=params, seed=seed)
     index._corrections = corrections
-    index._hitting_sets = hitting_sets
+    index._store = store
     save_index(index, work_directory / "index")
 
     for path in run_paths:

@@ -1,0 +1,442 @@
+"""Bitwise parity and layout-invariant tests for the packed hitting-set store.
+
+The packed query paths (sorted-key intersection, zero-copy frontier slices)
+and the dict-based compatibility path (``query_hitting_set`` +
+``view_from_hitting_set``) must agree *bitwise*: both funnel through the same
+kernels over identically ordered arrays, so any difference means the packed
+columns or the per-query overlays disagree with the dict contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graphs import generators
+from repro.ranking import rank_top_k
+from repro.sling import (
+    DiskBackedIndex,
+    HittingProbabilitySet,
+    PackedHittingStore,
+    QueryView,
+    SlingIndex,
+    intersect_views,
+    load_index,
+    pack_keys,
+    save_index,
+    single_source_local_push,
+    view_from_hitting_set,
+)
+from repro.sling.hitting import push_frontier
+
+EPS = 0.1
+
+#: Every combination of the Section-5.2 / 5.3 optimization flags.
+FLAG_COMBOS = [
+    pytest.param(False, False, id="plain"),
+    pytest.param(True, False, id="reduce_space"),
+    pytest.param(False, True, id="enhance_accuracy"),
+    pytest.param(True, True, id="both"),
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.two_level_community(2, 12, seed=19)
+
+
+@pytest.fixture(scope="module")
+def index_cache(graph):
+    cache: dict[tuple[bool, bool], SlingIndex] = {}
+
+    def build(reduce_space: bool, enhance_accuracy: bool) -> SlingIndex:
+        key = (reduce_space, enhance_accuracy)
+        if key not in cache:
+            cache[key] = SlingIndex(
+                graph,
+                epsilon=EPS,
+                seed=5,
+                reduce_space=reduce_space,
+                enhance_accuracy=enhance_accuracy,
+            ).build()
+        return cache[key]
+
+    return build
+
+
+def reference_single_pair(index: SlingIndex, node_u: int, node_v: int) -> float:
+    """Algorithm 3 through the dict-based compatibility path."""
+    return intersect_views(
+        view_from_hitting_set(index.query_hitting_set(node_u)),
+        view_from_hitting_set(index.query_hitting_set(node_v)),
+        index.correction_factors,
+    )
+
+
+def reference_single_source(index: SlingIndex, node: int) -> np.ndarray:
+    """Algorithm 6 through the dict-based compatibility path."""
+    return single_source_local_push(
+        index.graph,
+        index.query_hitting_set(node),
+        index.correction_factors,
+        index.parameters.sqrt_c,
+        index.parameters.theta,
+    )
+
+
+def legacy_intersect(
+    set_u: HittingProbabilitySet, set_v: HittingProbabilitySet, corrections
+) -> float:
+    """The pre-packed dict-of-dicts intersection loop (sanity oracle)."""
+    score = 0.0
+    for level, entries_u in set_u.levels.items():
+        entries_v = set_v.levels.get(level)
+        if not entries_v:
+            continue
+        if len(entries_v) < len(entries_u):
+            entries_u, entries_v = entries_v, entries_u
+        for target, value_u in entries_u.items():
+            value_v = entries_v.get(target)
+            if value_v is not None:
+                score += value_u * corrections[target] * value_v
+    return min(1.0, score)
+
+
+# --------------------------------------------------------------------------- #
+# Bitwise parity: packed vs dict path
+# --------------------------------------------------------------------------- #
+class TestQueryParity:
+    @pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+    def test_single_pair_bitwise_identical(
+        self, graph, index_cache, reduce_space, enhance_accuracy
+    ):
+        index = index_cache(reduce_space, enhance_accuracy)
+        rng = np.random.default_rng(0)
+        pairs = [(int(u), int(v)) for u, v in rng.integers(0, graph.num_nodes, (40, 2))]
+        pairs += [(node, node) for node in range(0, graph.num_nodes, 5)]
+        for node_u, node_v in pairs:
+            assert index.single_pair(node_u, node_v) == reference_single_pair(
+                index, node_u, node_v
+            )
+
+    @pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+    def test_single_source_bitwise_identical(
+        self, graph, index_cache, reduce_space, enhance_accuracy
+    ):
+        index = index_cache(reduce_space, enhance_accuracy)
+        for node in range(graph.num_nodes):
+            assert np.array_equal(
+                index.single_source(node), reference_single_source(index, node)
+            )
+
+    @pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+    def test_top_k_bitwise_identical(
+        self, graph, index_cache, reduce_space, enhance_accuracy
+    ):
+        index = index_cache(reduce_space, enhance_accuracy)
+        for node in (0, 7, 19):
+            expected = rank_top_k(
+                reference_single_source(index, node).copy(), node, 5
+            )
+            assert index.top_k(node, 5) == expected
+
+    @pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+    def test_all_pairs_bitwise_identical(
+        self, graph, index_cache, reduce_space, enhance_accuracy
+    ):
+        index = index_cache(reduce_space, enhance_accuracy)
+        reference = np.stack(
+            [reference_single_source(index, node) for node in graph.nodes()]
+        )
+        assert np.array_equal(index.all_pairs(), reference)
+
+    @pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+    def test_pairwise_single_source_bitwise_identical(
+        self, graph, index_cache, reduce_space, enhance_accuracy
+    ):
+        index = index_cache(reduce_space, enhance_accuracy)
+        scores = index.single_source(3, method="pairwise")
+        expected = np.array(
+            [reference_single_pair(index, 3, other) for other in graph.nodes()]
+        )
+        assert np.array_equal(scores, expected)
+
+    def test_matches_legacy_dict_loop_closely(self, graph, index_cache):
+        # The legacy Python loop sums in dict-insertion order, so agreement
+        # is up to floating-point reassociation, not bitwise.
+        index = index_cache(False, False)
+        for node_u, node_v in [(0, 1), (3, 20), (7, 7), (2, 15)]:
+            legacy = legacy_intersect(
+                index.query_hitting_set(node_u),
+                index.query_hitting_set(node_v),
+                index.correction_factors,
+            )
+            assert index.single_pair(node_u, node_v) == pytest.approx(
+                legacy, abs=1e-12
+            )
+
+    def test_kernel_accepts_dict_and_view_identically(self, graph, index_cache):
+        index = index_cache(False, False)
+        params = index.parameters
+        for node in (0, 11, 23):
+            from_view = single_source_local_push(
+                graph,
+                index.packed_store.node_view(node),
+                index.correction_factors,
+                params.sqrt_c,
+                params.theta,
+            )
+            from_dict = single_source_local_push(
+                graph,
+                index.packed_store.hitting_set(node),
+                index.correction_factors,
+                params.sqrt_c,
+                params.theta,
+            )
+            assert np.array_equal(from_view, from_dict)
+
+
+# --------------------------------------------------------------------------- #
+# Layout invariants of the packed store
+# --------------------------------------------------------------------------- #
+class TestStoreInvariants:
+    @pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+    def test_invariants_hold(self, index_cache, reduce_space, enhance_accuracy):
+        store = index_cache(reduce_space, enhance_accuracy).packed_store
+        store.check_invariants()
+
+    def test_columns_sorted_and_offsets_monotone(self, index_cache):
+        store = index_cache(False, False).packed_store
+        offsets = np.asarray(store.offsets)
+        assert offsets[0] == 0
+        assert int(offsets[-1]) == store.num_entries
+        assert np.all(np.diff(offsets) >= 0)
+        for node in range(store.num_nodes):
+            start, stop = store.slice_bounds(node)
+            segment = store.keys[start:stop]
+            if segment.shape[0] > 1:
+                assert np.all(np.diff(segment) > 0)
+            assert np.array_equal(
+                segment,
+                pack_keys(store.levels[start:stop], store.targets[start:stop]),
+            )
+
+    def test_store_matches_dict_sets_exactly(self, index_cache):
+        index = index_cache(False, False)
+        store = index.packed_store
+        for node, hitting_set in enumerate(index.hitting_sets):
+            assert store.hitting_set(node) == hitting_set
+            assert store.entry_counts()[node] == len(hitting_set)
+        assert store.num_entries == sum(len(hs) for hs in index.hitting_sets)
+
+    def test_size_accounting_is_o1_and_matches_dicts(self, index_cache):
+        index = index_cache(False, False)
+        store = index.packed_store
+        assert store.size_bytes() == 12 * store.num_entries
+        assert index.index_size_bytes() == 8 * store.num_nodes + store.size_bytes()
+        assert index.build_statistics.num_hitting_entries == store.num_entries
+        assert index.average_set_size() == store.num_entries / store.num_nodes
+        assert index.resident_bytes() > store.size_bytes()
+
+    def test_from_records_equals_from_hitting_sets(self, index_cache):
+        index = index_cache(False, False)
+        store = index.packed_store
+        sources = np.repeat(
+            np.arange(store.num_nodes, dtype=np.int64), store.entry_counts()
+        )
+        rng = np.random.default_rng(3)
+        shuffle = rng.permutation(store.num_entries)
+        rebuilt = PackedHittingStore.from_records(
+            store.num_nodes,
+            sources[shuffle],
+            np.asarray(store.levels)[shuffle],
+            np.asarray(store.targets)[shuffle],
+            np.asarray(store.values)[shuffle],
+        )
+        assert np.array_equal(rebuilt.offsets, store.offsets)
+        assert np.array_equal(rebuilt.keys, store.keys)
+        assert np.array_equal(rebuilt.values, store.values)
+
+
+# --------------------------------------------------------------------------- #
+# QueryView composition
+# --------------------------------------------------------------------------- #
+class TestQueryView:
+    def test_override_replaces_and_inserts_in_key_order(self):
+        base = view_from_hitting_set(
+            HittingProbabilitySet({0: {4: 1.0}, 2: {1: 0.25, 6: 0.5}})
+        )
+        composed = base.override([(2, 6, 0.75), (1, 3, 0.125), (2, 9, 0.0625)])
+        assert composed.num_entries == 5
+        assert np.all(np.diff(composed.keys) > 0)
+        rebuilt = composed.to_hitting_set()
+        assert rebuilt.get(2, 6) == 0.75  # replaced
+        assert rebuilt.get(1, 3) == 0.125  # inserted
+        assert rebuilt.get(2, 9) == 0.0625  # inserted
+        assert rebuilt.get(0, 4) == 1.0  # untouched
+        # the receiver is copy-on-write: the base view is unchanged
+        assert base.to_hitting_set().get(2, 6) == 0.5
+
+    def test_override_on_empty_view(self):
+        empty = view_from_hitting_set(HittingProbabilitySet())
+        composed = empty.override([(0, 2, 1.0)])
+        assert composed.num_entries == 1
+        assert composed.contains(0, 2)
+
+    def test_contains_and_iter_levels(self):
+        view = view_from_hitting_set(
+            HittingProbabilitySet({1: {5: 0.5, 2: 0.25}, 3: {0: 0.125}})
+        )
+        assert view.contains(1, 5)
+        assert not view.contains(1, 4)
+        assert not view.contains(2, 5)
+        observed = [
+            (level, targets.tolist(), values.tolist())
+            for level, targets, values in view.iter_levels()
+        ]
+        assert observed == [(1, [2, 5], [0.25, 0.5]), (3, [0], [0.125])]
+
+    def test_intersect_empty_views(self):
+        empty = view_from_hitting_set(HittingProbabilitySet())
+        other = view_from_hitting_set(HittingProbabilitySet({0: {0: 1.0}}))
+        corrections = np.ones(4)
+        assert intersect_views(empty, other, corrections) == 0.0
+        assert intersect_views(other, empty, corrections) == 0.0
+        assert intersect_views(empty, empty, corrections) == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Round-trip: save -> mmap load -> query must be exact
+# --------------------------------------------------------------------------- #
+class TestRoundTrip:
+    @pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+    def test_mmap_load_is_bitwise_exact(
+        self, graph, index_cache, tmp_path, reduce_space, enhance_accuracy
+    ):
+        index = index_cache(reduce_space, enhance_accuracy)
+        directory = save_index(index, tmp_path / "index")
+        loaded = load_index(directory, graph)
+        rng = np.random.default_rng(1)
+        for u, v in rng.integers(0, graph.num_nodes, (25, 2)):
+            assert loaded.single_pair(int(u), int(v)) == index.single_pair(
+                int(u), int(v)
+            )
+        for node in (0, 9, 23):
+            assert np.array_equal(
+                loaded.single_source(node), index.single_source(node)
+            )
+
+    def test_loaded_columns_are_memory_mapped(self, graph, index_cache, tmp_path):
+        index = index_cache(False, False)
+        directory = save_index(index, tmp_path / "index")
+        loaded = load_index(directory, graph)
+        store = loaded.packed_store
+        for column in (store.offsets, store.levels, store.targets, store.values,
+                       store.keys):
+            assert isinstance(column, np.memmap)
+        store.check_invariants()
+
+    def test_resave_over_live_mmap_does_not_corrupt(self, graph, index_cache, tmp_path):
+        """Regression: re-saving an mmap-loaded index into its own directory.
+
+        ``np.save`` used to truncate the very files the store was still
+        mapped from; the temp-file + rename write path must leave both the
+        live mapping and the on-disk index intact.
+        """
+        index = index_cache(False, False)
+        directory = save_index(index, tmp_path / "index")
+        loaded = load_index(directory, graph)
+        before = loaded.single_pair(0, 1)
+        save_index(loaded, directory)  # columns are mmapped from `directory`
+        assert loaded.single_pair(0, 1) == before  # live mapping still valid
+        reloaded = load_index(directory, graph)
+        assert reloaded.single_pair(0, 1) == index.single_pair(0, 1)
+        assert np.array_equal(
+            reloaded.single_source(5), index.single_source(5)
+        )
+
+    @pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+    def test_disk_backed_queries_bitwise_exact(
+        self, graph, index_cache, tmp_path, reduce_space, enhance_accuracy
+    ):
+        # DiskBackedIndex serves the *stored* sets (no per-query overlays),
+        # so compare against the stored-set reference, not the optimized one.
+        index = index_cache(reduce_space, enhance_accuracy)
+        directory = save_index(index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        store = index.packed_store
+        for u, v in [(0, 1), (5, 18), (10, 10), (3, 22)]:
+            expected = intersect_views(
+                store.node_view(u), store.node_view(v), index.correction_factors
+            )
+            assert disk.single_pair(u, v) == expected
+        params = index.parameters
+        for node in (2, 17):
+            expected = single_source_local_push(
+                graph,
+                store.node_view(node),
+                index.correction_factors,
+                params.sqrt_c,
+                params.theta,
+            )
+            assert np.array_equal(disk.single_source(node), expected)
+
+
+# --------------------------------------------------------------------------- #
+# Scratch-buffer reuse
+# --------------------------------------------------------------------------- #
+class TestScratchBuffer:
+    def test_push_frontier_scratch_matches_fresh_allocation(self, graph):
+        nodes = np.array([0, 3, 13], dtype=np.int64)
+        values = np.array([1.0, 0.5, 0.25])
+        fresh = push_frontier(graph, nodes, values, 0.7)
+        scratch = np.zeros(graph.num_nodes)
+        reused = push_frontier(graph, nodes, values, 0.7, scratch=scratch)
+        assert np.array_equal(fresh[0], reused[0])
+        assert np.array_equal(fresh[1], reused[1])
+        # the all-zeros invariant is restored for the next level
+        assert not scratch.any()
+
+    def test_push_frontier_rejects_misshapen_scratch(self, graph):
+        nodes = np.array([0], dtype=np.int64)
+        values = np.array([1.0])
+        with pytest.raises(ParameterError):
+            push_frontier(graph, nodes, values, 0.7, scratch=np.zeros(3))
+
+    def test_reverse_push_scratch_matches_fresh_allocation(self, graph):
+        from repro.sling import reverse_push
+
+        scratch = np.zeros(graph.num_nodes)
+        for target in (0, 7, 20):
+            with_scratch = reverse_push(graph, target, 0.77, 0.01, scratch=scratch)
+            without = reverse_push(graph, target, 0.77, 0.01)
+            assert with_scratch == without
+            assert not scratch.any()
+
+    def test_single_source_scratch_matches_fresh_allocation(self, graph, index_cache):
+        index = index_cache(False, False)
+        params = index.parameters
+        scratch = np.zeros(graph.num_nodes)
+        for node in (1, 12):
+            view = index.packed_store.node_view(node)
+            reused = single_source_local_push(
+                graph, view, index.correction_factors, params.sqrt_c, params.theta,
+                scratch=scratch,
+            )
+            fresh = single_source_local_push(
+                graph, view, index.correction_factors, params.sqrt_c, params.theta
+            )
+            assert np.array_equal(reused, fresh)
+            assert not scratch.any()
+
+
+# --------------------------------------------------------------------------- #
+# QueryView type sanity
+# --------------------------------------------------------------------------- #
+def test_node_view_is_zero_copy(index_cache):
+    store = index_cache(False, False).packed_store
+    view = store.node_view(0)
+    assert isinstance(view, QueryView)
+    assert view.values.base is not None  # a slice, not a copy
+    assert view.num_entries == int(store.entry_counts()[0])

@@ -69,15 +69,61 @@ class TestSaveLoad:
 
     def test_missing_data_file_rejected(self, graph, built_index, tmp_path):
         directory = save_index(built_index, tmp_path / "index")
-        (directory / "sling_data.npz").unlink()
+        (directory / "sling_values.npy").unlink()
+        with pytest.raises((StorageError, FileNotFoundError)):
+            load_index(directory, graph)
+
+    def test_missing_corrections_rejected(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        (directory / "sling_corrections.npy").unlink()
         with pytest.raises((StorageError, FileNotFoundError)):
             load_index(directory, graph)
 
     def test_metadata_only_directory_rejected_for_disk_backed(self, graph, built_index, tmp_path):
         directory = save_index(built_index, tmp_path / "index")
-        (directory / "sling_data.npz").unlink()
+        for column in directory.glob("sling_*.npy"):
+            column.unlink()
         with pytest.raises((StorageError, FileNotFoundError)):
             DiskBackedIndex(directory, graph)
+
+    def test_legacy_v1_npz_directory_still_loads(self, graph, built_index, tmp_path):
+        """A format-version-1 directory (one compressed npz) stays readable."""
+        import json
+
+        import numpy as np
+
+        directory = tmp_path / "v1"
+        directory.mkdir()
+        store = built_index.packed_store
+        np.savez_compressed(
+            directory / "sling_data.npz",
+            corrections=built_index.correction_factors,
+            reduced=np.zeros(0, dtype=bool),
+            offsets=store.offsets,
+            levels=store.levels,
+            targets=store.targets,
+            values=store.values,
+        )
+        params = built_index.parameters
+        meta = {
+            "format_version": 1,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "c": params.c,
+            "epsilon": params.epsilon,
+            "delta": params.delta,
+            "epsilon_d": params.epsilon_d,
+            "theta": params.theta,
+            "delta_d": params.delta_d,
+            "reduce_space": False,
+            "enhance_accuracy": False,
+        }
+        (directory / "sling_meta.json").write_text(json.dumps(meta))
+        loaded = load_index(directory, graph)
+        for pair in [(0, 1), (3, 20), (7, 7)]:
+            assert loaded.single_pair(*pair) == built_index.single_pair(*pair)
+        disk = DiskBackedIndex(directory, graph)
+        assert disk.single_pair(0, 1) == built_index.single_pair(0, 1)
 
     def test_roundtrip_with_optimizations(self, graph, tmp_path, ground_truth_cache):
         index = SlingIndex(
