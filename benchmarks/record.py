@@ -30,17 +30,24 @@ import sys
 from pathlib import Path
 
 import bench_packed_query
+import bench_single_source
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: name -> (runner(smoke: bool) -> payload, required top-level keys).
+#: name -> runner plus the structural schema its payload must satisfy:
+#: ``required_keys`` (top level), ``required_cells`` and the per-cell timing
+#: ``cell_fields``, and ``required_true`` — guard booleans that must be
+#: exactly ``True`` for the recorded numbers to be trustworthy.
 RECORDED_BENCHMARKS = {
     "packed_query": {
         "run": lambda smoke: bench_packed_query.run_benchmark(
             **(
                 {"scale": 0.05, "num_pairs": 400, "num_sources": 10, "repeats": 2}
                 if smoke
-                else {}
+                # Recorded runs take best-of-7: the exact-path cells sit near
+                # their 1.0x no-regression floors, so best-of-3 noise on
+                # ~100ms timings can flip them.
+                else {"repeats": 7}
             )
         ),
         "required_keys": (
@@ -55,6 +62,33 @@ RECORDED_BENCHMARKS = {
             "parity_ok",
         ),
         "required_cells": ("single_pair", "single_source", "top_k", "load"),
+        "cell_fields": ("dict_seconds", "packed_seconds", "speedup"),
+        "required_true": ("parity_ok",),
+    },
+    "single_source": {
+        "run": lambda smoke: bench_single_source.run_benchmark(
+            **(
+                {"scale": 0.05, "num_sources": 10, "repeats": 2}
+                if smoke
+                else {"repeats": 7}
+            )
+        ),
+        "required_keys": (
+            "benchmark",
+            "dataset",
+            "num_nodes",
+            "num_hitting_entries",
+            "cells",
+            "speedups",
+            "targets",
+            "meets_targets",
+            "parity_ok",
+            "accuracy_ok",
+            "topk_agreement_ok",
+        ),
+        "required_cells": ("single_source", "single_source_exact", "top_k_warm"),
+        "cell_fields": ("baseline_seconds", "optimized_seconds", "speedup"),
+        "required_true": ("parity_ok", "accuracy_ok", "topk_agreement_ok"),
     },
 }
 
@@ -74,7 +108,7 @@ def validate_payload(name: str, payload: dict) -> list[str]:
         if not isinstance(cell, dict):
             problems.append(f"{name}: missing cell {cell_name!r}")
             continue
-        for field in ("dict_seconds", "packed_seconds", "speedup"):
+        for field in spec["cell_fields"]:
             value = cell.get(field)
             if not isinstance(value, (int, float)) or not math.isfinite(value):
                 problems.append(
@@ -84,8 +118,11 @@ def validate_payload(name: str, payload: dict) -> list[str]:
                 problems.append(
                     f"{name}: cell {cell_name!r} field {field!r} must be > 0"
                 )
-    if payload.get("parity_ok") is not True:
-        problems.append(f"{name}: parity_ok is not true — results are untrustworthy")
+    for guard in spec["required_true"]:
+        if payload.get(guard) is not True:
+            problems.append(
+                f"{name}: {guard} is not true — results are untrustworthy"
+            )
     return problems
 
 

@@ -70,8 +70,20 @@ class BackendConfig:
     mc_num_walks: int = 200
     sling_reduce_space: bool = False
     sling_enhance_accuracy: bool = False
+    #: How the SLING backends answer ``top_k``: ``"exact"`` ranks a full
+    #: single-source vector; ``"bounded"`` runs the truncated cascade with
+    #: residual-mass pruning (within ε/4 of exact, typically much faster on
+    #: a warm index).
+    sling_topk_mode: str = "exact"
     #: Directory for disk-backed indexes; a temporary directory when ``None``.
     work_directory: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.sling_topk_mode not in ("exact", "bounded"):
+            raise ParameterError(
+                f"sling_topk_mode must be 'exact' or 'bounded', "
+                f"got {self.sling_topk_mode!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -170,7 +182,14 @@ class SimilarityBackend(abc.ABC):
 
     # ------------------------------------------------------------------ #
     def top_k(self, node: int, k: int) -> list[tuple[int, float]]:
-        """The ``k`` nodes most similar to ``node`` (excluding itself)."""
+        """The ``k`` nodes most similar to ``node`` (excluding itself).
+
+        The copy here is deliberate: :func:`rank_top_k` masks the source
+        in-place, and the ``single_source`` protocol does not promise a fresh
+        array (a subclass may legitimately return a view into its index).
+        Backends whose ``single_source`` is documented to return fresh
+        storage (the SLING adapters) override this without the copy.
+        """
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
         scores = np.array(self.single_source(node), dtype=np.float64, copy=True)
@@ -307,6 +326,19 @@ class SlingBackend(SimilarityBackend):
         self._require_built()
         return self._index.single_source(node, method=method)
 
+    def top_k(self, node: int, k: int) -> list[tuple[int, float]]:
+        """Top-k honouring ``config.sling_topk_mode`` ("exact" or "bounded").
+
+        Both modes delegate to :meth:`SlingIndex.top_k`, which skips the
+        generic adapter's defensive copy — ``SlingIndex.single_source``
+        always returns fresh storage.
+        """
+        self._require_built()
+        mode = self._config.sling_topk_mode
+        return self._index.top_k(
+            node, k, method="bounded" if mode == "bounded" else "local_push"
+        )
+
     def index_size_bytes(self) -> int:
         self._require_built()
         return self._index.index_size_bytes()
@@ -393,6 +425,15 @@ class DiskSlingBackend(SimilarityBackend):
         self._require_built()
         assert self._disk_index is not None
         return self._disk_index.single_source(node)
+
+    def top_k(self, node: int, k: int) -> list[tuple[int, float]]:
+        """Top-k honouring ``config.sling_topk_mode`` ("exact" or "bounded")."""
+        self._require_built()
+        assert self._disk_index is not None
+        mode = self._config.sling_topk_mode
+        return self._disk_index.top_k(
+            node, k, method="bounded" if mode == "bounded" else "local_push"
+        )
 
     def index_size_bytes(self) -> int:
         """Total size of the packed index, like every other backend."""

@@ -75,6 +75,7 @@ class DiGraph:
         "_out_indices",
         "_labels",
         "_label_to_id",
+        "_push_weight_cache",
     )
 
     def __init__(
@@ -94,6 +95,7 @@ class DiGraph:
         self._out_indptr, self._out_indices = self._group_by(
             edge_array[:, 0], edge_array[:, 1]
         )
+        self._push_weight_cache: dict[float, np.ndarray] = {}
 
         if labels is not None:
             labels = list(labels)
@@ -250,6 +252,29 @@ class DiGraph:
     def out_csr(self) -> tuple[np.ndarray, np.ndarray]:
         """The out-adjacency as ``(indptr, indices)`` CSR arrays (read-only views)."""
         return self._out_indptr, self._out_indices
+
+    def push_edge_weights(self, sqrt_c: float) -> np.ndarray:
+        """Per-out-edge push weights ``√c / |I(successor)|``, cached per ``√c``.
+
+        Entry ``e`` of the result is aligned with :meth:`out_csr`'s
+        ``indices`` column: it is the factor a local-push step multiplies
+        into the mass flowing along edge ``e``.  Precomputing the column
+        turns the cascade kernel's inner step into two gathers, one multiply
+        and one ``bincount`` — no per-step division.  Every out-edge's head
+        has at least one in-neighbour (the edge itself), so the division is
+        always defined.
+
+        The graph is immutable, so the column is computed once per distinct
+        ``√c`` and shared (read-only) across all queries and threads.
+        """
+        key = float(sqrt_c)
+        weights = self._push_weight_cache.get(key)
+        if weights is None:
+            in_degrees = np.diff(self._in_indptr)
+            weights = key / in_degrees[self._out_indices]
+            weights.flags.writeable = False
+            self._push_weight_cache[key] = weights
+        return weights
 
     def sample_in_neighbors(
         self, nodes: np.ndarray, rng: np.random.Generator

@@ -15,6 +15,7 @@ from .correction import (
 from .hitting import (
     HittingProbabilitySet,
     build_hitting_sets,
+    concatenated_ranges,
     exact_near_hops,
     neighborhood_weight,
     push_frontier,
@@ -27,7 +28,12 @@ from .packed import (
     pack_keys,
     view_from_hitting_set,
 )
-from .single_source import single_source_local_push
+from .single_source import (
+    BoundedTopK,
+    bounded_top_k,
+    single_source_cascade,
+    single_source_local_push,
+)
 from .parameters import SlingParameters, theorem1_error_bound
 from .optimizations import AccuracyEnhancer, SpaceReduction
 from .index import BuildStatistics, SlingIndex
@@ -57,6 +63,7 @@ __all__ = [
     "exact_correction_factors",
     "HittingProbabilitySet",
     "build_hitting_sets",
+    "concatenated_ranges",
     "exact_near_hops",
     "neighborhood_weight",
     "push_frontier",
@@ -66,6 +73,9 @@ __all__ = [
     "intersect_views",
     "pack_keys",
     "view_from_hitting_set",
+    "BoundedTopK",
+    "bounded_top_k",
+    "single_source_cascade",
     "single_source_local_push",
     "SlingParameters",
     "theorem1_error_bound",

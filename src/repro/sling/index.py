@@ -39,7 +39,12 @@ from .packed import (
     view_from_hitting_set,
 )
 from .parameters import SlingParameters
-from .single_source import single_source_local_push
+from .single_source import (
+    BoundedTopK,
+    bounded_top_k,
+    single_source_cascade,
+    single_source_local_push,
+)
 from .walks import SqrtCWalker
 
 __all__ = ["SlingIndex", "BuildStatistics"]
@@ -144,6 +149,7 @@ class SlingIndex:
         self._enhance_accuracy = enhance_accuracy
 
         self._corrections: np.ndarray | None = None
+        self._correction_max: float | None = None
         self._store: PackedHittingStore | None = None
         #: Lazy dict-based compatibility view of the packed store.
         self._hitting_sets: list[HittingProbabilitySet] | None = None
@@ -405,17 +411,23 @@ class SlingIndex:
         node:
             The query (source) node.
         method:
-            ``"local_push"`` runs Algorithm 6 (the recommended variant);
-            ``"pairwise"`` applies Algorithm 3 once per node — asymptotically
-            ``O(n/ε)`` but slower in practice, exactly as Figure 2 shows.
+            ``"local_push"`` runs Algorithm 6 (the default; bitwise-stable
+            reference kernel); ``"cascade"`` runs the level-cascade kernel —
+            ``max ℓ`` push steps instead of ``Σℓ``, several times faster and
+            within the same ``ε`` guarantee of the reference (but not bitwise
+            identical to it); ``"pairwise"`` applies Algorithm 3 once per
+            node — asymptotically ``O(n/ε)`` but slower in practice, exactly
+            as Figure 2 shows.
         """
         if method == "local_push":
             return self._single_source_local_push(node)
+        if method == "cascade":
+            return self._single_source_cascade(node)
         if method == "pairwise":
             return self._single_source_pairwise(node)
         raise ParameterError(
             f"unknown single-source method {method!r}; "
-            "expected 'local_push' or 'pairwise'"
+            "expected 'local_push', 'cascade' or 'pairwise'"
         )
 
     def _single_source_pairwise(self, node: int) -> np.ndarray:
@@ -441,15 +453,99 @@ class SlingIndex:
             self._params.theta,
         )
 
+    def _single_source_cascade(self, node: int) -> np.ndarray:
+        """The level-cascade kernel over the same per-query view."""
+        self._require_built()
+        assert self._corrections is not None
+        return single_source_cascade(
+            self._graph,
+            self._query_view(node),
+            self._corrections,
+            self._params.sqrt_c,
+            self._params.theta,
+        )
+
+    def _correction_upper_bound(self) -> float:
+        """Cached ``max_j d̃_j``, used to scale store-side pruning bounds."""
+        assert self._corrections is not None
+        if self._correction_max is None:
+            self._correction_max = float(
+                np.asarray(self._corrections).max(initial=0.0)
+            )
+        return self._correction_max
+
+    def _store_level_bounds(self, node: int) -> dict[int, float]:
+        """Per-level residual-mass bounds from the packed store's metadata.
+
+        ``B_ℓ = (√c)^ℓ · max_k h̃^(ℓ)(node, k) · max_j d̃_j`` — an upper bound
+        on the per-query corrected frontier maximum that needs no column
+        reads at query time (the store stats are computed once and cached).
+        Only consulted for levels above the overlay floor, where the raw
+        store values are authoritative for every flag combination.
+        """
+        sqrt_c = self._params.sqrt_c
+        correction_max = self._correction_upper_bound()
+        stat_levels, _totals, stat_maxima = self.packed_store.node_level_stats(
+            int(node)
+        )
+        return {
+            int(level): (sqrt_c ** int(level)) * float(maximum) * correction_max
+            for level, maximum in zip(stat_levels, stat_maxima)
+        }
+
     # ------------------------------------------------------------------ #
     # Derived queries
     # ------------------------------------------------------------------ #
-    def top_k(self, node: int, k: int, *, method: str = "local_push") -> list[tuple[int, float]]:
-        """The ``k`` nodes most similar to ``node`` (excluding ``node`` itself)."""
+    def top_k(
+        self, node: int, k: int, *, method: str = "local_push",
+        budget: float | None = None,
+    ) -> list[tuple[int, float]]:
+        """The ``k`` nodes most similar to ``node`` (excluding ``node`` itself).
+
+        ``method`` accepts every :meth:`single_source` method plus
+        ``"bounded"``, the pruned top-k path of :meth:`top_k_bounded`
+        (``budget`` is only meaningful there).  Every ``single_source``
+        variant returns a fresh array, so the ranking consumes it directly —
+        no defensive copy.
+        """
         if k <= 0:
             raise ParameterError(f"k must be positive, got {k}")
-        scores = self.single_source(node, method=method).copy()
-        return rank_top_k(scores, int(node), k)
+        if method == "bounded":
+            return self.top_k_bounded(node, k, budget=budget).ranked
+        return rank_top_k(self.single_source(node, method=method), int(node), k)
+
+    def top_k_bounded(
+        self, node: int, k: int, *, budget: float | None = None
+    ) -> BoundedTopK:
+        """Top-k via the truncated cascade with residual-mass pruning bounds.
+
+        The cascade stops at the shallowest stored level whose undelivered
+        tail (bounded per level by the packed store's precomputed
+        residual-mass metadata) fits ``budget``, and the truncated ranking
+        is kept only when the k-th candidate's lower bound dominates that
+        tail; otherwise the full cascade runs.  Returned scores are within
+        ``tail_bound ≤ budget ≤ ε`` of the full cascade's values, so the
+        Theorem-1 additive guarantee degrades by at most the budget.
+
+        ``budget`` defaults to ``ε/4``, which on the benchmark workload
+        keeps exact top-k set agreement while stopping 2-3x shallower than
+        the full depth.
+        """
+        self._require_built()
+        assert self._corrections is not None
+        if budget is None:
+            budget = self._params.epsilon / 4.0
+        return bounded_top_k(
+            self._graph,
+            self._query_view(node),
+            self._corrections,
+            self._params.sqrt_c,
+            self._params.theta,
+            int(node),
+            k,
+            budget=budget,
+            level_bounds=self._store_level_bounds(node),
+        )
 
     def all_pairs(self, *, method: str = "local_push") -> np.ndarray:
         """All-pairs SimRank matrix computed one single-source query per node.

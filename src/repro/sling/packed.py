@@ -125,6 +125,23 @@ class QueryView:
             and self.values[pos] > 0.0
         )
 
+    def level_segments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-level run boundaries as ``(levels, starts, stops)`` arrays.
+
+        Levels are contiguous runs because the view is sorted level-major.
+        Exposed separately from :meth:`iter_levels` so the bounded top-k
+        cascade can decide which levels to materialise *before* touching any
+        (possibly memory-mapped) ``targets`` / ``values`` data.
+        """
+        levels = self.levels
+        if levels.shape[0] == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        boundaries = np.flatnonzero(np.diff(levels)) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+        stops = np.concatenate((boundaries, [levels.shape[0]]))
+        return np.asarray(levels)[starts].astype(np.int64), starts, stops
+
     def iter_levels(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
         """Yield ``(level, targets, values)`` per level, ascending.
 
@@ -132,14 +149,9 @@ class QueryView:
         targets within a level are ascending.  This is the canonical entry
         order shared by the packed and dict query paths.
         """
-        levels = self.levels
-        if levels.shape[0] == 0:
-            return
-        boundaries = np.flatnonzero(np.diff(levels)) + 1
-        starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
-        stops = np.concatenate((boundaries, [levels.shape[0]]))
-        for start, stop in zip(starts, stops):
-            yield int(levels[start]), self.targets[start:stop], self.values[start:stop]
+        run_levels, starts, stops = self.level_segments()
+        for level, start, stop in zip(run_levels, starts, stops):
+            yield int(level), self.targets[start:stop], self.values[start:stop]
 
     def override(
         self, entries: Iterable[tuple[int, int, float]]
@@ -278,7 +290,7 @@ class PackedHittingStore:
     shared across threads and backed by memory-mapped files without locking.
     """
 
-    __slots__ = ("offsets", "levels", "targets", "values", "keys")
+    __slots__ = ("offsets", "levels", "targets", "values", "keys", "_level_stats")
 
     def __init__(
         self,
@@ -293,6 +305,7 @@ class PackedHittingStore:
         self.targets = targets
         self.values = values
         self.keys = pack_keys(levels, targets) if keys is None else keys
+        self._level_stats: tuple[np.ndarray, ...] | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -442,6 +455,78 @@ class PackedHittingStore:
     def hitting_set(self, node: int) -> HittingProbabilitySet:
         """Materialise one node's entries as a dict-based set (compat path)."""
         return self.node_view(node).to_hitting_set()
+
+    # ------------------------------------------------------------------ #
+    # Per-level residual-mass metadata (bounded top-k pruning)
+    # ------------------------------------------------------------------ #
+    def level_stats(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-``(node, level)`` residual-mass summaries of the whole store.
+
+        Returns ``(stat_offsets, stat_levels, stat_totals, stat_maxima)``:
+        node ``v``'s per-level groups live at
+        ``stat_offsets[v]:stat_offsets[v+1]`` in the parallel ``stat_levels``
+        / ``stat_totals`` / ``stat_maxima`` arrays, where for each stored
+        level ``ℓ`` of ``v``, ``stat_totals`` is ``Σ_k h̃^(ℓ)(v, k)`` and
+        ``stat_maxima`` is ``max_k h̃^(ℓ)(v, k)``.
+
+        These are the residual-mass upper bounds the bounded top-k cascade
+        prunes with: the step-ℓ mass a single-source query from ``v`` can
+        still deliver to any *one* node is at most
+        ``(√c)^ℓ · max_k h̃^(ℓ)(v,k) · max_j d̃_j`` (each pushed unit spreads
+        over at most ``(√c)^ℓ`` of total hitting probability, Lemma 7), and
+        the aggregate over all nodes is bounded by the same expression with
+        the total in place of the max.
+
+        Computed lazily in one vectorised pass over the columns (entries are
+        sorted node-major then level-major, so groups are contiguous runs)
+        and cached; for a memory-mapped store this faults the ``levels`` and
+        ``values`` columns in once.  The cache is in plain RAM and sized
+        ``O(n · levels)``, far below the entry columns themselves.
+        """
+        if self._level_stats is None:
+            num_nodes = self.num_nodes
+            stat_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+            if self.num_entries == 0:
+                empty_levels = np.empty(0, dtype=np.int64)
+                empty_stats = np.empty(0, dtype=np.float64)
+                self._level_stats = (
+                    stat_offsets, empty_levels, empty_stats, empty_stats
+                )
+            else:
+                node_ids = np.repeat(
+                    np.arange(num_nodes, dtype=np.int64), np.diff(self.offsets)
+                )
+                levels = np.asarray(self.levels, dtype=np.int64)
+                values = np.asarray(self.values, dtype=np.float64)
+                change = np.flatnonzero(
+                    (np.diff(node_ids) != 0) | (np.diff(levels) != 0)
+                )
+                group_starts = np.concatenate(
+                    (np.zeros(1, dtype=np.int64), change + 1)
+                )
+                group_counts = np.bincount(
+                    node_ids[group_starts], minlength=num_nodes
+                )
+                np.cumsum(group_counts, out=stat_offsets[1:])
+                self._level_stats = (
+                    stat_offsets,
+                    levels[group_starts],
+                    np.add.reduceat(values, group_starts),
+                    np.maximum.reduceat(values, group_starts),
+                )
+        return self._level_stats
+
+    def node_level_stats(
+        self, node: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One node's ``(levels, totals, maxima)`` residual-mass summaries."""
+        stat_offsets, stat_levels, stat_totals, stat_maxima = self.level_stats()
+        start, stop = int(stat_offsets[node]), int(stat_offsets[node + 1])
+        return (
+            stat_levels[start:stop],
+            stat_totals[start:stop],
+            stat_maxima[start:stop],
+        )
 
     def to_hitting_sets(self) -> list[HittingProbabilitySet]:
         """Materialise every node's set (the lazy ``hitting_sets`` view)."""

@@ -42,9 +42,15 @@ from ..graphs import DiGraph
 from .correction import estimate_all_correction_factors
 from .hitting import HittingProbabilitySet, reverse_push
 from .index import SlingIndex
+from ..ranking import rank_top_k
 from .packed import PackedHittingStore, intersect_views
 from .parameters import SlingParameters
-from .single_source import single_source_local_push
+from .single_source import (
+    BoundedTopK,
+    bounded_top_k,
+    single_source_cascade,
+    single_source_local_push,
+)
 from .walks import SqrtCWalker
 
 __all__ = [
@@ -233,6 +239,7 @@ class DiskBackedIndex:
         # The packed arrays are read-only at query time, so concurrent queries
         # are safe; only this I/O counter is mutable and needs the lock.
         self._reads_lock = threading.Lock()
+        self._correction_max: float | None = None
 
     @property
     def parameters(self) -> SlingParameters:
@@ -268,14 +275,83 @@ class DiskBackedIndex:
         view_v = self._load_view(node_v)
         return intersect_views(view_u, view_v, self._corrections)
 
-    def single_source(self, node: int) -> np.ndarray:
-        """Algorithm 6 over a mmap-backed column slice for the query node."""
+    def single_source(self, node: int, *, method: str = "local_push") -> np.ndarray:
+        """Algorithm 6 over a mmap-backed column slice for the query node.
+
+        ``method="cascade"`` runs the level-cascade kernel instead of the
+        per-level local push; the two agree within the index's ε budget.
+        """
+        view = self._load_view(node)
+        if method == "cascade":
+            return single_source_cascade(
+                self._graph,
+                view,
+                self._corrections,
+                self._params.sqrt_c,
+                self._params.theta,
+            )
+        if method != "local_push":
+            raise ParameterError(
+                f"unknown single-source method {method!r}; "
+                "expected 'local_push' or 'cascade'"
+            )
         return single_source_local_push(
             self._graph,
-            self._load_view(node),
+            view,
             self._corrections,
             self._params.sqrt_c,
             self._params.theta,
+        )
+
+    def top_k(
+        self, node: int, k: int, *, method: str = "local_push",
+        budget: float | None = None,
+    ) -> list[tuple[int, float]]:
+        """The ``k`` nodes most similar to ``node`` (excluding itself).
+
+        Mirrors :meth:`SlingIndex.top_k`: any :meth:`single_source` method
+        plus ``"bounded"`` for the pruned cascade of :meth:`top_k_bounded`.
+        """
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if method == "bounded":
+            return self.top_k_bounded(node, k, budget=budget).ranked
+        return rank_top_k(self.single_source(node, method=method), int(node), k)
+
+    def top_k_bounded(
+        self, node: int, k: int, *, budget: float | None = None
+    ) -> BoundedTopK:
+        """Pruned top-k over the mmap-backed store (see ``SlingIndex``).
+
+        The per-level residual-mass bounds come from the store's
+        :meth:`~repro.sling.packed.PackedHittingStore.level_stats` metadata;
+        computing it faults every column in once, after which bounded queries
+        touch only the levels the truncated cascade actually replays.
+        """
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if budget is None:
+            budget = self._params.epsilon / 4.0
+        if self._correction_max is None:
+            self._correction_max = (
+                float(self._corrections.max()) if self._corrections.size else 0.0
+            )
+        sqrt_c = self._params.sqrt_c
+        stat_levels, _, stat_maxima = self._store.node_level_stats(int(node))
+        level_bounds = {
+            int(level): (sqrt_c ** int(level)) * float(maximum) * self._correction_max
+            for level, maximum in zip(stat_levels, stat_maxima)
+        }
+        return bounded_top_k(
+            self._graph,
+            self._load_view(node),
+            self._corrections,
+            sqrt_c,
+            self._params.theta,
+            int(node),
+            k,
+            budget=budget,
+            level_bounds=level_bounds,
         )
 
 

@@ -159,3 +159,29 @@ class TestAdapters:
     def test_top_k_rejects_nonpositive_k(self, built_backends):
         with pytest.raises(ParameterError):
             built_backends["power"].top_k(0, 0)
+
+
+class TestSlingTopKMode:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            BackendConfig(sling_topk_mode="fast-ish")
+
+    def test_exact_mode_is_default(self, built_backends):
+        backend = built_backends["sling"]
+        assert backend.config.sling_topk_mode == "exact"
+        assert backend.top_k(0, 5) == backend.index.top_k(0, 5)
+
+    def test_bounded_mode_dispatches_to_bounded_top_k(self, parity_graph):
+        config = BackendConfig(
+            epsilon=EPSILON, seed=0, sling_topk_mode="bounded"
+        )
+        backend = SlingBackend(parity_graph, config).build()
+        assert backend.top_k(0, 5) == backend.index.top_k_bounded(0, 5).ranked
+
+    def test_bounded_mode_on_disk_backend(self, parity_graph):
+        config = BackendConfig(
+            epsilon=EPSILON, seed=0, sling_topk_mode="bounded"
+        )
+        backend = DiskSlingBackend(parity_graph, config).build()
+        expected = backend.disk_index.top_k_bounded(0, 5).ranked
+        assert backend.top_k(0, 5) == expected

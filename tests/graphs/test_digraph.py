@@ -240,3 +240,27 @@ class TestNetworkxConversion:
         graph = DiGraph.from_networkx(nx_graph)
         assert graph.num_edges == 4
         assert graph.is_symmetric()
+
+
+class TestPushEdgeWeights:
+    def test_matches_per_edge_definition(self):
+        graph = generators.two_level_community(2, 8, seed=1)
+        sqrt_c = 0.775
+        weights = graph.push_edge_weights(sqrt_c)
+        out_indptr, out_indices = graph.out_csr()
+        assert weights.shape == out_indices.shape
+        in_degrees = graph.in_degrees()
+        for edge, successor in enumerate(out_indices):
+            assert weights[edge] == sqrt_c / in_degrees[successor]
+
+    def test_cached_per_sqrt_c(self):
+        graph = generators.cycle(6)
+        first = graph.push_edge_weights(0.7)
+        assert graph.push_edge_weights(0.7) is first
+        assert graph.push_edge_weights(0.8) is not first
+
+    def test_read_only(self):
+        graph = generators.cycle(6)
+        weights = graph.push_edge_weights(0.7)
+        with pytest.raises(ValueError):
+            weights[0] = 1.0

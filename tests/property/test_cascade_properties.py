@@ -1,0 +1,148 @@
+"""Property-based tests for the level-cascade kernel and bounded top-k.
+
+Three invariants over random graphs:
+
+* the cascade agrees with the per-level reference within ε for every
+  optimization-flag combination (it prunes strictly less mass, so both stay
+  inside the same Theorem-1 budget),
+* the ``np.bincount`` rewrite of :func:`push_frontier` is **bitwise**
+  identical to the original ``np.add.at`` scatter (bincount folds the
+  weights in input order, exactly as add.at did),
+* ``top_k(node, k)`` is a prefix of ``top_k(node, k + 5)`` — always for the
+  exact path, and for the bounded path whenever both queries ran the same
+  cascade (same truncation decision ⇒ same score vector ⇒ consistent
+  ranking).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import DiGraph
+from repro.sling import SlingIndex, push_frontier
+
+SQRT_C = math.sqrt(0.6)
+EPS = 0.05
+
+FLAG_COMBOS = [
+    pytest.param(False, False, id="plain"),
+    pytest.param(True, False, id="reduce_space"),
+    pytest.param(False, True, id="enhance_accuracy"),
+    pytest.param(True, True, id="both"),
+]
+
+
+def small_graphs(max_nodes: int = 8, max_edges: int = 24):
+    return (
+        st.integers(min_value=2, max_value=max_nodes)
+        .flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=n - 1),
+                        st.integers(min_value=0, max_value=n - 1),
+                    ).filter(lambda edge: edge[0] != edge[1]),
+                    max_size=max_edges,
+                ),
+            )
+        )
+        .map(lambda data: DiGraph(data[0], data[1]))
+    )
+
+
+@pytest.mark.parametrize("reduce_space,enhance_accuracy", FLAG_COMBOS)
+@settings(max_examples=15, deadline=None)
+@given(graph=small_graphs())
+def test_cascade_within_epsilon_of_reference(graph, reduce_space, enhance_accuracy):
+    index = SlingIndex(
+        graph,
+        epsilon=EPS,
+        seed=2,
+        reduce_space=reduce_space,
+        enhance_accuracy=enhance_accuracy,
+    ).build()
+    for node in graph.nodes():
+        reference = index.single_source(node)
+        cascade = index.single_source(node, method="cascade")
+        assert np.abs(cascade - reference).max() <= EPS
+
+
+def reference_push_frontier(graph, frontier_nodes, frontier_values, sqrt_c):
+    """The pre-rewrite push step, inlined: ``np.add.at`` into a zeros buffer."""
+    out_indptr, out_indices = graph.out_csr()
+    in_degrees = graph.in_degrees()
+    starts = out_indptr[frontier_nodes]
+    counts = out_indptr[frontier_nodes + 1] - starts
+    total_edges = int(counts.sum())
+    if total_edges == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    edge_offsets = np.repeat(starts, counts) + (
+        np.arange(total_edges, dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    successors = out_indices[edge_offsets]
+    contributions = (
+        sqrt_c * np.repeat(frontier_values, counts) / in_degrees[successors]
+    )
+    buffer = np.zeros(graph.num_nodes, dtype=np.float64)
+    np.add.at(buffer, successors, contributions)
+    next_nodes = np.flatnonzero(buffer)
+    return next_nodes, buffer[next_nodes]
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), graph=small_graphs(max_nodes=10, max_edges=40))
+def test_push_frontier_bitwise_matches_add_at(data, graph):
+    n = graph.num_nodes
+    nodes = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=1,
+            max_size=n,
+            unique=True,
+        )
+    )
+    frontier_nodes = np.array(sorted(nodes), dtype=np.int64)
+    frontier_values = np.array(
+        data.draw(
+            st.lists(
+                st.floats(min_value=1e-6, max_value=1.0),
+                min_size=len(nodes),
+                max_size=len(nodes),
+            )
+        )
+    )
+    ref_nodes, ref_values = reference_push_frontier(
+        graph, frontier_nodes, frontier_values, SQRT_C
+    )
+    new_nodes, new_values = push_frontier(
+        graph, frontier_nodes, frontier_values, SQRT_C
+    )
+    assert np.array_equal(ref_nodes, new_nodes)
+    # Bitwise, not approx: bincount must reproduce add.at's fold exactly.
+    assert np.array_equal(ref_values, new_values)
+
+
+@settings(max_examples=10, deadline=None)
+@given(graph=small_graphs(max_nodes=10, max_edges=30))
+def test_top_k_prefix_consistency(graph):
+    index = SlingIndex(graph, epsilon=EPS, seed=4).build()
+    for node in list(graph.nodes())[:3]:
+        small = index.top_k(node, 3)
+        large = index.top_k(node, 8)
+        assert [i for i, _ in small] == [i for i, _ in large][: len(small)]
+        bounded_small = index.top_k_bounded(node, 3)
+        bounded_large = index.top_k_bounded(node, 8)
+        same_cascade = (
+            bounded_small.truncated == bounded_large.truncated
+            and bounded_small.stop_level == bounded_large.stop_level
+        )
+        if same_cascade:
+            ids_small = [i for i, _ in bounded_small.ranked]
+            ids_large = [i for i, _ in bounded_large.ranked]
+            assert ids_small == ids_large[: len(ids_small)]

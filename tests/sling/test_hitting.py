@@ -278,3 +278,34 @@ class TestNeighborhoodWeight:
             expected_set_size_bound(SQRT_C, 0.0)
         assert theoretical_error_bound(SQRT_C, 0.01, 0) == 0.0
         assert theoretical_error_bound(SQRT_C, 0.01, 5) > 0.0
+
+
+class TestConcatenatedRanges:
+    def test_matches_two_repeat_reference(self):
+        from repro.sling import concatenated_ranges
+
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 1000, size=50).astype(np.int64)
+        counts = rng.integers(0, 7, size=50).astype(np.int64)
+        total = int(counts.sum())
+        reference = np.repeat(starts, counts) + (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        assert np.array_equal(concatenated_ranges(starts, counts), reference)
+
+    def test_explicit_total(self):
+        from repro.sling import concatenated_ranges
+
+        starts = np.array([5, 0], dtype=np.int64)
+        counts = np.array([2, 3], dtype=np.int64)
+        assert concatenated_ranges(starts, counts, 5).tolist() == [5, 6, 0, 1, 2]
+
+    def test_empty(self):
+        from repro.sling import concatenated_ranges
+
+        result = concatenated_ranges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert result.size == 0
+        assert result.dtype == np.int64

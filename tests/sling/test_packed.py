@@ -440,3 +440,55 @@ def test_node_view_is_zero_copy(index_cache):
     assert isinstance(view, QueryView)
     assert view.values.base is not None  # a slice, not a copy
     assert view.num_entries == int(store.entry_counts()[0])
+
+
+# --------------------------------------------------------------------------- #
+# Level segments and residual-mass metadata
+# --------------------------------------------------------------------------- #
+class TestLevelSegments:
+    def test_matches_iter_levels(self, index_cache):
+        store = index_cache(False, False).packed_store
+        for node in (0, 5, 17):
+            view = store.node_view(node)
+            levels, starts, stops = view.level_segments()
+            iterated = list(view.iter_levels())
+            assert levels.shape == starts.shape == stops.shape
+            assert len(iterated) == levels.shape[0]
+            for idx, (level, targets, values) in enumerate(iterated):
+                assert int(levels[idx]) == level
+                assert np.array_equal(view.targets[starts[idx] : stops[idx]], targets)
+                assert np.array_equal(view.values[starts[idx] : stops[idx]], values)
+
+    def test_empty_view(self):
+        view = view_from_hitting_set(HittingProbabilitySet())
+        levels, starts, stops = view.level_segments()
+        assert levels.size == starts.size == stops.size == 0
+
+
+class TestLevelStats:
+    def test_matches_hitting_set_aggregates(self, index_cache):
+        index = index_cache(False, False)
+        store = index.packed_store
+        for node in (0, 5, 17, 23):
+            levels, totals, maxima = store.node_level_stats(node)
+            expected = index.hitting_sets[node].levels
+            present = sorted(level for level, entries in expected.items() if entries)
+            assert [int(level) for level in levels] == present
+            for level, total, maximum in zip(levels, totals, maxima):
+                values = list(expected[int(level)].values())
+                assert total == pytest.approx(sum(values))
+                assert maximum == pytest.approx(max(values))
+
+    def test_cached(self, index_cache):
+        store = index_cache(False, False).packed_store
+        assert store.level_stats() is store.level_stats()
+
+    def test_empty_store(self):
+        store = PackedHittingStore.from_columns(
+            np.zeros(4, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.float64),
+        )
+        levels, totals, maxima = store.node_level_stats(1)
+        assert levels.size == totals.size == maxima.size == 0

@@ -98,3 +98,74 @@ class TestSharedKernel:
             built_index.parameters.theta,
         )
         assert not scores.any()
+
+
+class TestCascade:
+    def test_within_epsilon_of_local_push(self, built_index):
+        for node in (0, 7, 14, 29):
+            reference = built_index.single_source(node)
+            cascade = built_index.single_source(node, method="cascade")
+            assert np.abs(cascade - reference).max() <= EPS
+            assert np.all(cascade >= 0.0)
+            assert np.all(cascade <= 1.0)
+
+    def test_empty_hitting_set_gives_zero_vector(self, built_index):
+        from repro.sling import HittingProbabilitySet, single_source_cascade
+
+        scores = single_source_cascade(
+            built_index.graph,
+            HittingProbabilitySet(),
+            built_index.correction_factors,
+            built_index.parameters.sqrt_c,
+            built_index.parameters.theta,
+        )
+        assert not scores.any()
+
+    def test_returns_fresh_arrays(self, built_index):
+        first = built_index.single_source(3, method="cascade")
+        second = built_index.single_source(3, method="cascade")
+        assert first is not second
+        assert np.array_equal(first, second)
+
+
+class TestBoundedTopK:
+    def test_invalid_parameters_rejected(self, built_index):
+        with pytest.raises(ParameterError):
+            built_index.top_k_bounded(0, 0)
+        with pytest.raises(ParameterError):
+            built_index.top_k_bounded(0, 5, budget=-0.1)
+
+    def test_zero_budget_matches_cascade_ranking(self, built_index):
+        for node in (0, 11):
+            result = built_index.top_k_bounded(node, 5, budget=0.0)
+            assert result.ranked == built_index.top_k(node, 5, method="cascade")
+            assert result.tail_bound == 0.0
+            assert not result.truncated
+
+    def test_method_bounded_routes_through_top_k(self, built_index):
+        assert (
+            built_index.top_k(4, 6, method="bounded")
+            == built_index.top_k_bounded(4, 6).ranked
+        )
+
+    def test_scores_within_budget_of_exact(self, built_index):
+        budget = built_index.parameters.epsilon / 4.0
+        for node in (0, 9, 22):
+            exact = built_index.single_source(node)
+            result = built_index.top_k_bounded(node, 8, budget=budget)
+            for ranked_node, score in result.ranked:
+                # Truncated scores are lower bounds within tail + the
+                # cascade's own (≤ ε) pruning difference from the reference.
+                assert score <= exact[ranked_node] + EPS
+                assert score >= exact[ranked_node] - result.tail_bound - EPS
+
+    def test_truncated_reports_consistent_metadata(self, built_index):
+        # A huge budget lets the cascade cut as early as allowed; whatever
+        # decision is taken, the reported metadata must be self-consistent.
+        result = built_index.top_k_bounded(2, 5, budget=10.0)
+        assert len(result.ranked) == 5
+        if result.truncated:
+            assert result.tail_bound <= 10.0
+            assert result.stop_level >= 2
+        else:
+            assert result.tail_bound == 0.0

@@ -208,6 +208,47 @@ class TestDiskBackedIndex:
         disk = DiskBackedIndex(directory, graph)
         assert disk.parameters.epsilon == built_index.parameters.epsilon
 
+    def test_cascade_matches_in_memory_bitwise(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        for node in (0, 7, 19):
+            assert np.array_equal(
+                disk.single_source(node, method="cascade"),
+                built_index.single_source(node, method="cascade"),
+            )
+
+    def test_unknown_single_source_method_rejected(
+        self, graph, built_index, tmp_path
+    ):
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        with pytest.raises(ParameterError):
+            disk.single_source(0, method="bogus")
+
+    def test_top_k_matches_in_memory(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        for node in (0, 4, 21):
+            assert disk.top_k(node, 6) == built_index.top_k(node, 6)
+        with pytest.raises(ParameterError):
+            disk.top_k(0, 0)
+
+    def test_top_k_bounded_matches_in_memory(self, graph, built_index, tmp_path):
+        directory = save_index(built_index, tmp_path / "index")
+        disk = DiskBackedIndex(directory, graph)
+        for node in (0, 4, 21):
+            from_disk = disk.top_k_bounded(node, 6)
+            from_memory = built_index.top_k_bounded(node, 6)
+            # Same store metadata, same corrections → same truncation
+            # decision and same ranking on both paths.
+            assert from_disk.ranked == from_memory.ranked
+            assert from_disk.stop_level == from_memory.stop_level
+            assert from_disk.truncated == from_memory.truncated
+            assert from_disk.tail_bound == pytest.approx(from_memory.tail_bound)
+        assert (
+            disk.top_k(2, 6, method="bounded") == disk.top_k_bounded(2, 6).ranked
+        )
+
 
 class TestOutOfCoreBuild:
     @pytest.fixture(scope="class")
