@@ -30,6 +30,7 @@ import sys
 from pathlib import Path
 
 import bench_packed_query
+import bench_serving
 import bench_single_source
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -89,6 +90,31 @@ RECORDED_BENCHMARKS = {
         "required_cells": ("single_source", "single_source_exact", "top_k_warm"),
         "cell_fields": ("baseline_seconds", "optimized_seconds", "speedup"),
         "required_true": ("parity_ok", "accuracy_ok", "topk_agreement_ok"),
+    },
+    "serving": {
+        "run": lambda smoke: bench_serving.run_benchmark(
+            **(bench_serving.SMOKE_OVERRIDES if smoke else {})
+        ),
+        "required_keys": (
+            "benchmark",
+            "datasets",
+            "num_nodes",
+            "num_queries",
+            "cache_budget",
+            "cells",
+            "speedups",
+            "targets",
+            "meets_targets",
+            "identical_values",
+        ),
+        "required_cells": ("workers_1", "workers_2", "workers_4"),
+        "cell_fields": (
+            "seconds",
+            "queries_per_second",
+            "overall_p50_ms",
+            "overall_p99_ms",
+        ),
+        "required_true": ("identical_values",),
     },
 }
 

@@ -50,6 +50,7 @@ import json
 import os
 import queue
 import select
+import signal
 import sys
 import threading
 from dataclasses import replace
@@ -63,14 +64,19 @@ from .service import (
     ParallelExecutor,
     QueryResult,
     RequestEnvelope,
+    Router,
     ServiceConfig,
     SimRankService,
     SinglePairQuery,
+    SocketServer,
     TopKQuery,
+    WorkerPool,
     decode_envelope_line,
     encode_frame,
+    parse_address,
     response_frames,
 )
+from .service.net.channel import Address
 
 __all__ = ["main", "build_parser"]
 
@@ -174,6 +180,24 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
         type=_nonnegative_int,
         default=128,
         help="LRU capacity for single-source score vectors (0 disables)",
+    )
+    parser.add_argument(
+        "--cache-budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="process-wide budget of cached single-source vectors, divided "
+        "evenly across open datasets (caps --cache-size per dataset; this is "
+        "what makes sharding datasets across router workers multiply cache "
+        "capacity per box)",
+    )
+    parser.add_argument(
+        "--index-dir",
+        default=None,
+        metavar="DIR",
+        help="root of prebuilt per-dataset index directories (DIR/<dataset>); "
+        "sling/sling-disk sessions mmap a saved index from there instead of "
+        "rebuilding, so many worker processes share one copy read-only",
     )
 
 
@@ -292,6 +316,95 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the opening hello frame (for strictly-v1 consumers)",
     )
+    serve_where = serve.add_mutually_exclusive_group()
+    serve_where.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve over TCP instead of stdin/stdout (port 0 binds an "
+        "ephemeral port; the bound address is announced on stdout as a "
+        '{"frame":"listening",...} line)',
+    )
+    serve_where.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="serve over a Unix-domain socket at PATH instead of stdin/stdout",
+    )
+
+    router = subparsers.add_parser(
+        "router",
+        help="multi-process sharded serving: spawn N 'repro serve' workers "
+        "and route protocol-v2 requests to them by dataset",
+    )
+    _add_common_options(router)
+    _add_service_options(router)
+    router.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="worker processes to spawn (default: 2); each dataset is "
+        "served by exactly one worker",
+    )
+    router.add_argument(
+        "--worker-threads",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="request threads inside each worker process (default: 1)",
+    )
+    router_where = router.add_mutually_exclusive_group()
+    router_where.add_argument(
+        "--listen",
+        default="127.0.0.1:7077",
+        metavar="HOST:PORT",
+        help="front-end TCP address (default: 127.0.0.1:7077; port 0 binds "
+        "an ephemeral port, announced on stdout)",
+    )
+    router_where.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="front-end Unix-domain socket instead of TCP",
+    )
+    router.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="workers' server-side streaming default (see 'serve')",
+    )
+    router.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between worker health checks (default: 2)",
+    )
+    router.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-request worker deadline before the router answers with an "
+        "'unavailable' envelope (default: 120)",
+    )
+    router.add_argument(
+        "--pin",
+        action="append",
+        default=[],
+        metavar="DATASET=WORKER",
+        help="pin a dataset to a worker index, overriding the hash ring "
+        "(repeatable)",
+    )
+    router.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the workers' Unix sockets (default: a private "
+        "temporary directory)",
+    )
 
     return parser
 
@@ -314,6 +427,8 @@ def _service(args: argparse.Namespace) -> SimRankService:
             backend=args.backend,
             memory_budget_bytes=budget,
             cache_size=args.cache_size,
+            cache_budget_vectors=args.cache_budget,
+            index_dir=args.index_dir,
             scale=args.scale,
             seed=args.seed,
             backend_config=BackendConfig(
@@ -405,6 +520,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "router":
+        return _run_router(args)
 
     return 1  # pragma: no cover - unreachable with required=True
 
@@ -825,6 +943,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     client errors become envelopes, not exit codes); the summary and
     optional ``--stats`` dump go to stderr.
     """
+    if args.listen is not None or args.unix is not None:
+        return _run_serve_socket(args)
     service = _service(args)
     if not args.no_hello:
         try:
@@ -850,6 +970,161 @@ def _run_serve(args: argparse.Namespace) -> int:
     )
     if args.stats:
         print(json.dumps(service.statistics(), indent=2), file=sys.stderr)
+    return 0
+
+
+def _front_address(args: argparse.Namespace) -> Address:
+    """The socket endpoint picked by ``--unix`` / ``--listen``."""
+    if args.unix is not None:
+        return Address(family="unix", path=args.unix)
+    return parse_address(args.listen)
+
+
+def _stop_on_signals(stop) -> None:
+    """Run ``stop`` (on a fresh thread — it joins others) on SIGINT/SIGTERM,
+    so a supervisor's TERM produces the same clean drain as Ctrl-C."""
+    def handler(*_: object) -> None:
+        threading.Thread(target=stop, name="repro-signal-stop", daemon=True).start()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+
+
+def _announce_listening(address: Address, **extra: object) -> None:
+    """The machine-readable ready line socket servers print on stdout."""
+    payload = {"frame": "listening", "address": str(address), **extra}
+    try:
+        print(json.dumps(payload, separators=(",", ":")), flush=True)
+    except OSError:  # pragma: no cover - stdout already gone; keep serving
+        pass
+
+
+def _run_serve_socket(args: argparse.Namespace) -> int:
+    """``repro serve --listen/--unix``: the serve loop over a socket.
+
+    Identical protocol and semantics to the stdin/stdout loop — hello frame
+    per connection, ordered responses, chunked streaming, shutdown control
+    request — but any number of clients share the one warm service.  Prints
+    a ``{"frame":"listening","address":...}`` line on stdout once bound
+    (how spawning parents learn an ephemeral port), then serves until a
+    client's acknowledged ``shutdown``, SIGTERM, or SIGINT.
+    """
+    service = _service(args)
+    address = _front_address(args)
+    try:
+        server = SocketServer(
+            service,
+            address=address,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            hello=not args.no_hello,
+        )
+    except OSError as exc:
+        print(f"error: cannot listen on {address}: {exc}", file=sys.stderr)
+        return 1
+    _announce_listening(server.address)
+    _stop_on_signals(server.stop)
+    try:
+        server.serve_forever()
+    finally:
+        server.stop()
+        if address.family == "unix":
+            try:
+                os.unlink(address.path)
+            except OSError:
+                pass
+    print(
+        f"serve: stopped listening on {server.address}; "
+        f"datasets: {', '.join(service.list_datasets()) or 'none'}",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(json.dumps(service.statistics(), indent=2), file=sys.stderr)
+    return 0
+
+
+def _run_router(args: argparse.Namespace) -> int:
+    """The ``router`` sub-command: multi-process sharded serving.
+
+    Spawns ``--workers`` ``repro serve --unix`` processes (each configured
+    with the forwarded service options), then routes protocol-v2 requests
+    to them by dataset: one worker owns each dataset (consistent hashing,
+    ``--pin`` to override), ``list_datasets``/``stats`` fan out and merge,
+    and dead workers are health-checked, restarted, and re-warmed — clients
+    with requests in flight get ``unavailable`` error envelopes, never a
+    hang.  Stops on a client's ``shutdown``, SIGTERM, or SIGINT.
+    """
+    serve_args = [
+        "--scale", str(args.scale),
+        "--epsilon", str(args.epsilon),
+        "--seed", str(args.seed),
+        "--mc-walks", str(args.mc_walks),
+        "--backend", args.backend,
+        "--cache-size", str(args.cache_size),
+        "--workers", str(args.worker_threads),
+    ]
+    if args.memory_budget_mb is not None:
+        serve_args += ["--memory-budget-mb", str(args.memory_budget_mb)]
+    if args.cache_budget is not None:
+        serve_args += ["--cache-budget", str(args.cache_budget)]
+    if args.index_dir is not None:
+        serve_args += ["--index-dir", args.index_dir]
+    if args.chunk_size is not None:
+        serve_args += ["--chunk-size", str(args.chunk_size)]
+    pins: dict[str, int] = {}
+    for spec in args.pin:
+        name, sep, index = spec.partition("=")
+        if not sep or not name or not index.isdigit():
+            print(
+                f"error: --pin expects DATASET=WORKER, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        pins[name] = int(index)
+    address = _front_address(args)
+    pool = WorkerPool(
+        args.workers,
+        serve_args=serve_args,
+        run_dir=args.run_dir,
+        health_interval=args.health_interval,
+    )
+    try:
+        pool.start()
+    except (RuntimeError, OSError) as exc:
+        print(f"error: worker pool failed to start: {exc}", file=sys.stderr)
+        pool.stop()
+        return 1
+    try:
+        router = Router(
+            pool,
+            address=address,
+            pins=pins,
+            request_timeout=args.request_timeout,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot listen on {address}: {exc}", file=sys.stderr)
+        pool.stop()
+        return 1
+    _announce_listening(router.address, workers=pool.count)
+    _stop_on_signals(router.stop)
+    try:
+        router.serve_forever()
+    finally:
+        router.stop()
+        if address.family == "unix":
+            try:
+                os.unlink(address.path)
+            except OSError:
+                pass
+    restarts = pool.restart_counts()
+    print(
+        f"router: stopped listening on {router.address}; "
+        f"workers: {pool.count}; restarts: {sum(restarts)}",
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -46,7 +46,13 @@ from .backends import (
     register_backend,
     resolve_backend_name,
 )
-from .engine import EngineStatistics, QueryEngine, QueryRecord
+from .engine import (
+    EngineStatistics,
+    QueryEngine,
+    QueryRecord,
+    latency_percentiles_by_kind,
+    latency_quantiles,
+)
 from .planner import QueryPlan, create_engine, estimate_sling_index_bytes, plan_backend
 
 __all__ = [
@@ -68,6 +74,8 @@ __all__ = [
     "QueryEngine",
     "EngineStatistics",
     "QueryRecord",
+    "latency_quantiles",
+    "latency_percentiles_by_kind",
     "QueryPlan",
     "plan_backend",
     "create_engine",

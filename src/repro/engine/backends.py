@@ -34,7 +34,7 @@ from ..baselines import (
 from ..exceptions import IndexNotBuiltError, ParameterError
 from ..graphs import DiGraph
 from ..ranking import rank_top_k
-from ..sling import DiskBackedIndex, SlingIndex, save_index
+from ..sling import DiskBackedIndex, SlingIndex, has_saved_index, save_index
 
 __all__ = [
     "BackendConfig",
@@ -77,6 +77,12 @@ class BackendConfig:
     sling_topk_mode: str = "exact"
     #: Directory for disk-backed indexes; a temporary directory when ``None``.
     work_directory: str | None = None
+    #: When ``True`` and :attr:`work_directory` already holds a saved index,
+    #: the disk backend mmaps it instead of rebuilding — how a pool of worker
+    #: processes shares one prebuilt packed index at near-zero per-worker
+    #: cost.  The saved index's own parameters win; only the graph shape is
+    #: verified (:class:`~repro.exceptions.StorageError` on mismatch).
+    reuse_saved_index: bool = False
 
     def __post_init__(self) -> None:
         if self.sling_topk_mode not in ("exact", "bounded"):
@@ -406,11 +412,18 @@ class DiskSlingBackend(SimilarityBackend):
         else:
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-sling-disk-")
             directory = Path(self._tempdir.name)
-        index = SlingIndex(
-            self._graph, c=cfg.c, epsilon=cfg.epsilon, seed=cfg.seed
-        ).build()
-        save_index(index, directory)
-        self._total_index_bytes = index.index_size_bytes()
+        if cfg.reuse_saved_index and has_saved_index(directory):
+            # Zero-copy attach: mmap the already-saved columns; the only
+            # per-process cost is the 8n bytes of correction factors.
+            self._total_index_bytes = sum(
+                path.stat().st_size for path in directory.glob("*.npy")
+            )
+        else:
+            index = SlingIndex(
+                self._graph, c=cfg.c, epsilon=cfg.epsilon, seed=cfg.seed
+            ).build()
+            save_index(index, directory)
+            self._total_index_bytes = index.index_size_bytes()
         self._directory = directory
         self._disk_index = DiskBackedIndex(directory, self._graph)
         self._built = True

@@ -43,6 +43,7 @@ that).  The contract is:
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import OrderedDict
@@ -55,7 +56,14 @@ from ..exceptions import ParameterError
 from ..ranking import rank_top_k
 from .backends import SimilarityBackend
 
-__all__ = ["QueryEngine", "EngineStatistics", "QueryRecord"]
+__all__ = [
+    "QueryEngine",
+    "EngineStatistics",
+    "QueryRecord",
+    "LATENCY_QUANTILES",
+    "latency_quantiles",
+    "latency_percentiles_by_kind",
+]
 
 #: In a batch of pair queries, compute one single-source vector instead of
 #: repeated pair queries once a source occurs at least this many times.
@@ -63,6 +71,49 @@ PAIR_AMORTIZE_THRESHOLD = 4
 
 #: How many per-query latency records to retain (aggregates are unbounded).
 MAX_QUERY_RECORDS = 1024
+
+#: The latency quantiles reported by :func:`latency_quantiles` — the tail
+#: percentiles a serving operator watches (p50 for the typical query, p95/p99
+#: for the tail that dominates user-perceived latency at scale).
+LATENCY_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def latency_quantiles(seconds: Sequence[float]) -> dict:
+    """Nearest-rank p50/p95/p99 over a sample of latencies, plus the count.
+
+    Nearest-rank (the ceil-of-q*n order statistic) rather than interpolation:
+    every reported value is a latency that actually occurred, and the
+    definition is stable under aggregation across workers (the router and
+    the service totals both recompute from merged samples).  Empty samples
+    yield ``count: 0`` with no quantile keys, so a kind that has never been
+    queried does not fabricate a 0.0 latency.
+    """
+    sample = sorted(float(value) for value in seconds)
+    out: dict = {"count": len(sample)}
+    if not sample:
+        return out
+    n = len(sample)
+    for name, q in LATENCY_QUANTILES:
+        # Nearest-rank: the smallest value with at least q*n samples <= it.
+        rank = max(1, math.ceil(q * n))
+        out[name] = sample[rank - 1]
+    return out
+
+
+def latency_percentiles_by_kind(
+    records: Iterable[tuple[str, float]],
+) -> dict[str, dict]:
+    """Group ``(kind, seconds)`` samples by kind and summarise each with
+    :func:`latency_quantiles`.  Shared by :meth:`EngineStatistics.as_dict`,
+    the service's ``stats`` totals, and the router's fan-out merge, so all
+    three report the same definition of "p99 top_k latency"."""
+    by_kind: dict[str, list[float]] = {}
+    for kind, seconds in records:
+        by_kind.setdefault(kind, []).append(seconds)
+    return {
+        kind: latency_quantiles(sample)
+        for kind, sample in sorted(by_kind.items())
+    }
 
 
 @dataclass(frozen=True)
@@ -128,6 +179,12 @@ class EngineStatistics:
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
             "total_seconds": self.total_seconds,
+            # Computed over the bounded recent-query window (the last
+            # MAX_QUERY_RECORDS queries), which is what a serving dashboard
+            # wants: current tail behaviour, not lifetime averages.
+            "latency_percentiles": latency_percentiles_by_kind(
+                (record.kind, record.seconds) for record in self.recent_queries
+            ),
             # Bounded at MAX_QUERY_RECORDS; exposes per-query latencies to
             # ``repro query --json`` and the service envelopes.
             "recent_queries": [record.as_dict() for record in self.recent_queries],
@@ -267,6 +324,20 @@ class QueryEngine:
         """Drop every cached single-source vector."""
         with self._lock:
             self._cache.clear()
+
+    def resize_cache(self, cache_size: int) -> None:
+        """Change the LRU capacity in place, evicting oldest entries if the
+        new capacity is smaller.  The service layer uses this to re-divide a
+        fixed per-process cache budget as datasets are opened and closed, so
+        a sharded worker that owns fewer datasets gives each one a larger
+        slice of the same memory."""
+        if cache_size < 0:
+            raise ParameterError(f"cache_size must be >= 0, got {cache_size}")
+        with self._lock:
+            self._cache_size = cache_size
+            while len(self._cache) > cache_size:
+                self._cache.popitem(last=False)
+                self._stats.cache_evictions += 1
 
     # ------------------------------------------------------------------ #
     # Backend access (serialised when the backend is not thread-safe)

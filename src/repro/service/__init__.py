@@ -32,14 +32,30 @@ strictly::
   ``partial``/``done`` result streaming.  Bare v1 query lines decode as v2
   with ``id: null``;
 * :mod:`repro.service.client` — :class:`SimRankClient`, the typed client
-  library with in-process and ``repro serve``-subprocess transports;
+  library with in-process, ``repro serve``-subprocess, and socket
+  transports;
 * :mod:`repro.service.parallel` — :class:`ParallelExecutor`, the worker pool
   behind ``repro batch --workers N`` and the ``repro serve`` loop: chunked
   concurrent execution with deterministic ordered output, per-request error
-  envelopes, and per-chunk deduplication of identical read queries.
+  envelopes, and per-chunk deduplication of identical read queries;
+* :mod:`repro.service.net` — the socket layer: :class:`SocketServer`
+  (``repro serve --listen/--unix``), and :class:`WorkerPool` +
+  :class:`Router` (``repro router``) for multi-process sharded serving
+  with health-checked failover.
 """
 
 from .client import ServiceError, SimRankClient
+from .net import (
+    DEFAULT_MAX_LINE_BYTES,
+    Address,
+    HashRing,
+    LineChannel,
+    OversizedLineError,
+    Router,
+    SocketServer,
+    WorkerPool,
+    parse_address,
+)
 from .control import (
     CONTROL_KINDS,
     CloseDatasetRequest,
@@ -67,6 +83,7 @@ from .results import (
     ERROR_BAD_REQUEST,
     ERROR_INTERNAL,
     ERROR_NODE_OUT_OF_RANGE,
+    ERROR_UNAVAILABLE,
     ERROR_UNKNOWN_DATASET,
     QueryError,
     QueryResult,
@@ -114,6 +131,16 @@ __all__ = [
     "ERROR_UNKNOWN_DATASET",
     "ERROR_NODE_OUT_OF_RANGE",
     "ERROR_INTERNAL",
+    "ERROR_UNAVAILABLE",
+    "Address",
+    "parse_address",
+    "LineChannel",
+    "OversizedLineError",
+    "DEFAULT_MAX_LINE_BYTES",
+    "SocketServer",
+    "HashRing",
+    "WorkerPool",
+    "Router",
     "ServiceConfig",
     "DatasetSession",
     "SimRankService",

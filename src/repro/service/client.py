@@ -1,14 +1,17 @@
 """`SimRankClient`: the typed client library for protocol v2.
 
-One client surface, two transports:
+One client surface, three transports:
 
 * **in-process** — wraps a :class:`~repro.service.SimRankService` directly.
   Zero-copy of the service's guarantees, but requests still round-trip
   through the same envelope decode / frame encode / reassembly code the
-  wire uses, so the two transports cannot drift apart behaviourally;
+  wire uses, so the transports cannot drift apart behaviourally;
 * **subprocess** — speaks v2 JSONL to a ``repro serve`` child over
   stdin/stdout pipes: reads the opening ``hello`` frame, assigns a
-  monotonically increasing ``id`` to every request, and verifies the echo.
+  monotonically increasing ``id`` to every request, and verifies the echo;
+* **socket** — the same JSONL conversation over TCP or a Unix-domain
+  socket, against a ``repro serve --listen/--unix`` server or a
+  ``repro router`` front end.
 
 Typical use::
 
@@ -23,10 +26,16 @@ Typical use::
         print(client.hello()["protocol"])              # -> 2
         print(client.single_pair("GrQc", 1, 2))
 
+    with SimRankClient(address="127.0.0.1:7077") as client:  # shared server
+        print(client.top_k("GrQc", 3, k=5))
+
 Value-returning helpers (``single_pair`` ... ``shutdown``) raise
 :class:`ServiceError` on error envelopes; :meth:`SimRankClient.execute`
 returns the raw :class:`~repro.service.results.QueryResult` for callers
-that want to inspect envelopes themselves.
+that want to inspect envelopes themselves.  A transport whose server dies
+*mid-request* never hangs and never raises a bare pipe error: the request
+resolves to a structured ``unavailable`` error envelope and the dead child
+process (if the client spawned one) is reaped.
 """
 
 from __future__ import annotations
@@ -35,11 +44,14 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Sequence
 
-from ..exceptions import ReproError, WireFormatError
+from ..exceptions import ParameterError, ReproError, WireFormatError
+from .net.channel import Address, LineChannel, parse_address
 from .control import (
     CloseDatasetRequest,
     ControlRequest,
@@ -57,7 +69,7 @@ from .queries import (
     SingleSourceQuery,
     TopKQuery,
 )
-from .results import QueryResult
+from .results import ERROR_UNAVAILABLE, QueryResult
 from .service import ServiceConfig, SimRankService
 from .wire import (
     PROTOCOL_VERSION,
@@ -148,35 +160,73 @@ class _InProcessTransport:
             self._service.close_all()
 
 
+class _TransportGone(Exception):
+    """Internal: the server's stream ended where a frame was expected."""
+
+
+def _spawn_serve(
+    serve_args: Sequence[str], **popen_kwargs: object
+) -> subprocess.Popen:
+    """Spawn ``repro serve`` with this interpreter and the package's
+    ``src`` directory on ``PYTHONPATH``, so clients work from a checkout
+    without installation."""
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir, env["PYTHONPATH"]] if env.get("PYTHONPATH") else [src_dir]
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *serve_args],
+        stderr=subprocess.DEVNULL,
+        env=env,
+        **popen_kwargs,
+    )
+
+
+def _died_envelope(payload: dict, message: str) -> QueryResult:
+    """The structured ``unavailable`` envelope a dead transport answers
+    with, echoing the request's kind/dataset where they were present."""
+    kind = payload.get("kind")
+    dataset = payload.get("dataset")
+    return QueryResult.failure(
+        ERROR_UNAVAILABLE,
+        message,
+        kind=kind if isinstance(kind, str) else None,
+        dataset=dataset if isinstance(dataset, str) else None,
+    )
+
+
 class _SubprocessTransport:
     """Speak v2 JSONL to a ``repro serve`` child process.
 
-    The child is spawned with this interpreter and the installed package's
-    ``src`` directory on ``PYTHONPATH``, so the transport works from a
-    checkout without installation.  Requests are written one line at a
-    time and responses read back in lockstep — the serve loop's ordered
-    writer guarantees the next response line(s) belong to the request just
-    sent.
+    Requests are written one line at a time and responses read back in
+    lockstep — the serve loop's ordered writer guarantees the next response
+    line(s) belong to the request just sent.  A child that dies mid-request
+    (crash, OOM kill, operator ``kill -9``) does not hang the caller or
+    leak a zombie: the in-flight request resolves to an ``unavailable``
+    error envelope, the corpse is reaped, and later requests fail fast
+    with :class:`ServiceError`.
     """
 
     def __init__(self, serve_args: Sequence[str]) -> None:
-        src_dir = str(Path(__file__).resolve().parents[2])
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.pathsep.join(
-            [src_dir, env["PYTHONPATH"]] if env.get("PYTHONPATH") else [src_dir]
-        )
-        self._process = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve", *serve_args],
+        self._process = _spawn_serve(
+            serve_args,
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
-            stderr=subprocess.DEVNULL,
             text=True,
             encoding="utf-8",
-            env=env,
         )
         self._lock = threading.Lock()
         self._shut_down = False
-        self._hello = self._read_frame()
+        try:
+            self._hello = self._read_frame()
+        except _TransportGone:
+            self._reap()
+            raise ServiceError(
+                QueryResult.failure(
+                    "server_gone", "repro serve closed its output stream"
+                )
+            ) from None
         if self._hello.get("frame") != "hello":
             raise WireFormatError(
                 f"expected a hello frame from repro serve, got {self._hello!r}"
@@ -186,11 +236,7 @@ class _SubprocessTransport:
         assert self._process.stdout is not None
         line = self._process.stdout.readline()
         if not line:
-            raise ServiceError(
-                QueryResult.failure(
-                    "server_gone", "repro serve closed its output stream"
-                )
-            )
+            raise _TransportGone()
         payload = json.loads(line)
         if not isinstance(payload, dict):
             raise WireFormatError(f"expected a frame object, got {payload!r}")
@@ -206,17 +252,38 @@ class _SubprocessTransport:
                     QueryResult.failure("server_gone", "server has shut down")
                 )
             assert self._process.stdin is not None
-            self._process.stdin.write(encode_frame(payload) + "\n")
-            self._process.stdin.flush()
-            frames = [self._read_frame()]
-            while frames[-1].get("frame") == "partial":
-                frames.append(self._read_frame())
+            try:
+                self._process.stdin.write(encode_frame(payload) + "\n")
+                self._process.stdin.flush()
+                frames = [self._read_frame()]
+                while frames[-1].get("frame") == "partial":
+                    frames.append(self._read_frame())
+            except (_TransportGone, OSError, ValueError):
+                # ValueError covers "I/O operation on closed file" from a
+                # pipe torn down under us; OSError covers BrokenPipeError.
+                return self._died(payload)
             _check_echo(frames, payload.get("id"))
             result = result_from_frames(frames)
             if result.ok and result.kind == "shutdown":
                 self._shut_down = True
                 self._finish()
             return result
+
+    def _died(self, payload: dict) -> QueryResult:
+        self._shut_down = True
+        self._reap()
+        code = self._process.returncode
+        return _died_envelope(
+            payload,
+            f"repro serve child died mid-request (exit code {code})",
+        )
+
+    def _reap(self) -> None:
+        try:
+            self._process.kill()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        self._finish()
 
     @property
     def closed(self) -> bool:
@@ -226,7 +293,7 @@ class _SubprocessTransport:
         if self._process.stdin is not None:
             try:
                 self._process.stdin.close()
-            except OSError:  # pragma: no cover - pipe already gone
+            except (OSError, ValueError):  # pragma: no cover - pipe gone
                 pass
         try:
             self._process.wait(timeout=10)
@@ -237,6 +304,135 @@ class _SubprocessTransport:
     def close(self) -> None:
         with self._lock:
             self._finish()
+
+
+class _SocketTransport:
+    """Speak v2 JSONL over TCP or a Unix-domain socket.
+
+    The peer is any protocol-v2 socket endpoint — ``repro serve --listen``,
+    ``repro serve --unix``, or a ``repro router`` — and the conversation is
+    the subprocess transport's, byte for byte: read the opening ``hello``,
+    then lockstep request/response lines.  When the transport itself
+    spawned the server (``SimRankClient.connect_socket``) it owns the
+    child: ``close`` tears it down and a death mid-request is reaped; a
+    transport pointed at a shared server (``SimRankClient(address=...)``)
+    owns only its connection.
+    """
+
+    def __init__(
+        self,
+        address: Address | str,
+        *,
+        connect_timeout: float = 30.0,
+        process: subprocess.Popen | None = None,
+        run_dir: str | None = None,
+    ) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)
+        self._address = address
+        self._process = process
+        self._run_dir = run_dir
+        self._lock = threading.Lock()
+        self._shut_down = False
+        try:
+            self._channel = LineChannel(address.connect(timeout=connect_timeout))
+        except OSError as exc:
+            raise ServiceError(
+                QueryResult.failure(
+                    "server_gone", f"could not connect to {address}: {exc}"
+                )
+            ) from exc
+        try:
+            self._hello = self._read_frame()
+        except (_TransportGone, OSError):
+            self._channel.close()
+            raise ServiceError(
+                QueryResult.failure(
+                    "server_gone",
+                    f"{address} closed the connection before hello",
+                )
+            ) from None
+        if self._hello.get("frame") != "hello":
+            raise WireFormatError(
+                f"expected a hello frame from {address}, got {self._hello!r}"
+            )
+
+    @property
+    def owns_service(self) -> bool:
+        """Only a transport that spawned the server may shut it down on
+        ``close`` — a connection to a shared server must not."""
+        return self._process is not None
+
+    @property
+    def address(self) -> str:
+        """The server endpoint, as a string other clients can connect to."""
+        return str(self._address)
+
+    def _read_frame(self) -> dict:
+        line = self._channel.read_line()
+        if line is None:
+            raise _TransportGone()
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise WireFormatError(f"expected a frame object, got {payload!r}")
+        return payload
+
+    def hello(self) -> dict:
+        return self._hello
+
+    def roundtrip(self, payload: dict) -> QueryResult:
+        with self._lock:
+            if self._shut_down:
+                raise ServiceError(
+                    QueryResult.failure("server_gone", "server has shut down")
+                )
+            try:
+                self._channel.send_line(encode_frame(payload))
+                frames = [self._read_frame()]
+                while frames[-1].get("frame") == "partial":
+                    frames.append(self._read_frame())
+            except (_TransportGone, OSError):
+                self._shut_down = True
+                self._teardown()
+                return _died_envelope(
+                    payload,
+                    f"the server at {self._address} went away mid-request",
+                )
+            _check_echo(frames, payload.get("id"))
+            result = result_from_frames(frames)
+            if result.ok and result.kind == "shutdown":
+                self._shut_down = True
+                self._teardown()
+            return result
+
+    @property
+    def closed(self) -> bool:
+        return self._shut_down
+
+    def _teardown(self) -> None:
+        self._channel.close()
+        if self._process is not None:
+            try:
+                self._process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait()
+        if self._run_dir is not None:
+            try:
+                Path(self._address.path).unlink()
+            except OSError:
+                pass
+            try:
+                Path(self._run_dir).rmdir()
+            except OSError:
+                pass
+            self._run_dir = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._process is not None and self._process.poll() is None:
+                self._process.kill()
+            self._teardown()
 
 
 def _check_echo(frames: Sequence[dict], request_id: object) -> None:
@@ -259,10 +455,31 @@ class SimRankClient:
     to the child first so it exits cleanly).
     """
 
-    def __init__(self, transport: _InProcessTransport | _SubprocessTransport) -> None:
+    def __init__(
+        self,
+        transport: "_InProcessTransport | _SubprocessTransport | _SocketTransport | None" = None,
+        *,
+        address: Address | str | None = None,
+        connect_timeout: float = 30.0,
+    ) -> None:
+        if (transport is None) == (address is None):
+            raise ParameterError(
+                "pass exactly one of a transport or address="
+            )
+        if transport is None:
+            # ``SimRankClient(address="host:port")`` — attach to a shared
+            # socket server (or router); close() leaves the server running.
+            transport = _SocketTransport(address, connect_timeout=connect_timeout)
         self._transport = transport
         self._next_id = 0
         self._id_lock = threading.Lock()
+
+    @property
+    def address(self) -> str | None:
+        """The server endpoint for a socket transport (a string another
+        client can pass as ``address=``); ``None`` for the in-process and
+        subprocess transports, which are not shareable."""
+        return getattr(self._transport, "address", None)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -302,7 +519,87 @@ class SimRankClient:
         extra_args: Sequence[str] = (),
     ) -> "SimRankClient":
         """Spawn ``repro serve`` as a child process and connect to it."""
-        serve_args = [
+        serve_args = cls._serve_args(
+            scale=scale, epsilon=epsilon, seed=seed, backend=backend,
+            workers=workers, mc_walks=mc_walks, extra_args=extra_args,
+        )
+        return cls(_SubprocessTransport(serve_args))
+
+    @classmethod
+    def connect_socket(
+        cls,
+        *,
+        scale: float = 1.0,
+        epsilon: float = 0.05,
+        seed: int = 0,
+        backend: str = "auto",
+        workers: int = 1,
+        mc_walks: int = 200,
+        extra_args: Sequence[str] = (),
+        spawn_timeout: float = 120.0,
+    ) -> "SimRankClient":
+        """Spawn ``repro serve --unix`` on a private socket and connect.
+
+        The subprocess twin for the socket transport: same options, same
+        ownership (``close`` shuts the child down), but the conversation
+        crosses a real socket — which is what the transport-parity tests
+        lean on.  To attach to an already-running server instead, use
+        ``SimRankClient(address=...)``.
+        """
+        run_dir = tempfile.mkdtemp(prefix="repro-socket-")
+        socket_path = os.path.join(run_dir, "serve.sock")
+        serve_args = cls._serve_args(
+            scale=scale, epsilon=epsilon, seed=seed, backend=backend,
+            workers=workers, mc_walks=mc_walks,
+            extra_args=("--unix", socket_path, *extra_args),
+        )
+        process = _spawn_serve(
+            serve_args, stdin=subprocess.DEVNULL, stdout=subprocess.DEVNULL
+        )
+        address = Address(family="unix", path=socket_path)
+        deadline = time.monotonic() + spawn_timeout
+        while True:
+            if process.poll() is not None:
+                raise ServiceError(
+                    QueryResult.failure(
+                        "server_gone",
+                        "repro serve exited with code "
+                        f"{process.returncode} before listening",
+                    )
+                )
+            try:
+                probe = address.connect(timeout=1.0)
+            except OSError:
+                if time.monotonic() > deadline:
+                    process.kill()
+                    process.wait()
+                    raise ServiceError(
+                        QueryResult.failure(
+                            "server_gone",
+                            f"repro serve did not listen on {address} within "
+                            f"{spawn_timeout:.0f}s",
+                        )
+                    ) from None
+                time.sleep(0.05)
+                continue
+            probe.close()
+            break
+        return cls(
+            _SocketTransport(address, process=process, run_dir=run_dir)
+        )
+
+    @staticmethod
+    def _serve_args(
+        *,
+        scale: float,
+        epsilon: float,
+        seed: int,
+        backend: str,
+        workers: int,
+        mc_walks: int,
+        extra_args: Sequence[str],
+    ) -> list[str]:
+        return [
             "--scale", str(scale),
             "--epsilon", str(epsilon),
             "--seed", str(seed),
@@ -311,7 +608,6 @@ class SimRankClient:
             "--mc-walks", str(mc_walks),
             *extra_args,
         ]
-        return cls(_SubprocessTransport(serve_args))
 
     # ------------------------------------------------------------------ #
     # Envelope-level surface

@@ -1,0 +1,35 @@
+"""Socket transports and multi-process sharded serving.
+
+Layers, bottom up:
+
+* :mod:`~repro.service.net.channel` — addresses (TCP / Unix-domain) and
+  newline-framed socket channels with a per-line byte cap;
+* :mod:`~repro.service.net.socket_server` — :class:`SocketServer`, the
+  wire-protocol-v2 serve loop over sockets (``repro serve --listen/--unix``);
+* :mod:`~repro.service.net.router` — :class:`WorkerPool` (spawn,
+  health-check, restart ``repro serve`` children) and :class:`Router`
+  (per-dataset sharding, control-plane fan-out, failover envelopes), the
+  engine behind ``repro router``.
+"""
+
+from .channel import (
+    DEFAULT_MAX_LINE_BYTES,
+    Address,
+    LineChannel,
+    OversizedLineError,
+    parse_address,
+)
+from .router import HashRing, Router, WorkerPool
+from .socket_server import SocketServer
+
+__all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
+    "Address",
+    "parse_address",
+    "LineChannel",
+    "OversizedLineError",
+    "SocketServer",
+    "HashRing",
+    "WorkerPool",
+    "Router",
+]

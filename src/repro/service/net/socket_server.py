@@ -1,0 +1,287 @@
+"""A socket front end for :class:`~repro.service.SimRankService`.
+
+:class:`SocketServer` serves wire protocol v2 over TCP or Unix-domain
+sockets.  Each accepted connection gets exactly the stdin/stdout serve
+loop's contract — an opening ``hello`` frame, one response per request line
+**in arrival order** (monolithic envelopes or ``partial``/``done`` streams),
+``id`` echo on every frame — with up to ``workers`` requests of a
+connection executing behind the head of its line.  All connections share
+one :class:`~repro.service.ParallelExecutor` and therefore one warm
+service: sessions opened by one client answer every client.
+
+Hostile peers are contained per connection: lines over the byte limit are
+answered with a ``bad_request`` envelope (the connection survives), garbage
+lines decode into error envelopes exactly as on stdin, and a client that
+disconnects mid-stream takes down only its own connection threads.  An
+acknowledged ``shutdown`` control request stops the whole server: the
+listener closes, in-flight requests drain, every connection is told to
+stop, and :meth:`serve_forever` returns — which is how one ``shutdown``
+line through any transport stops a worker process.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from concurrent.futures import Future
+
+from ...exceptions import ParameterError
+from ..parallel import ParallelExecutor
+from ..results import ERROR_BAD_REQUEST, QueryResult
+from ..service import SimRankService
+from ..wire import RequestEnvelope, decode_envelope_line, encode_frame, response_frames
+from .channel import DEFAULT_MAX_LINE_BYTES, Address, LineChannel, OversizedLineError
+
+__all__ = ["SocketServer"]
+
+#: How often blocked reads wake up to notice a stop request, in seconds.
+_POLL_SECONDS = 0.2
+
+
+class SocketServer:
+    """Serve one :class:`SimRankService` over a TCP or Unix socket.
+
+    Parameters
+    ----------
+    service:
+        The (thread-safe) service answering requests.
+    address:
+        Where to listen.  TCP port 0 binds an ephemeral port; the resolved
+        :attr:`address` tells callers what was actually bound.
+    workers:
+        Threads in the shared executor pool (the per-connection in-flight
+        window is ``4 * workers``, like the stdin pump).
+    chunk_size:
+        Server-side default for streaming large ``single_source`` /
+        ``all_pairs`` values; a request's own ``chunk_size`` wins.
+    hello:
+        Whether connections open with a ``hello`` frame (on by default;
+        strictly-v1 consumers can turn it off).
+    max_line_bytes:
+        Per-line inbound byte cap; oversized lines are answered with
+        ``bad_request`` envelopes instead of growing the buffer unboundedly.
+    """
+
+    def __init__(
+        self,
+        service: SimRankService,
+        *,
+        address: Address,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        hello: bool = True,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    ) -> None:
+        if max_line_bytes < 1024:
+            raise ParameterError(
+                f"max_line_bytes must be >= 1024, got {max_line_bytes}"
+            )
+        self._service = service
+        self._executor = ParallelExecutor(service, workers=workers)
+        self._chunk_size = chunk_size
+        self._hello = hello
+        self._max_line_bytes = max_line_bytes
+        self._listener = address.listen()
+        #: The bound endpoint (with the real port when TCP port 0 was asked).
+        self.address = address.resolved(self._listener)
+        self._connections: set[_Connection] = set()
+        self._connections_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._stop_lock = threading.Lock()
+
+    @property
+    def service(self) -> SimRankService:
+        """The service this server fronts."""
+        return self._service
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Begin accepting connections on a background thread."""
+        if self._accept_thread is not None:
+            return
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-socket-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        """Accept and serve until :meth:`stop` (or an acknowledged
+        ``shutdown`` request) brings the server down."""
+        self.start()
+        self._stopped.wait()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server has fully stopped; ``True`` if it has."""
+        return self._stopped.wait(timeout)
+
+    def stop(self) -> None:
+        """Stop accepting, drain in-flight requests, close every connection,
+        and shut the executor down.  Idempotent and thread-safe; returns
+        once the server is fully stopped."""
+        with self._stop_lock:
+            if self._stopped.is_set():
+                return
+            self._stopping.set()
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            if self._accept_thread is not None:
+                self._accept_thread.join()
+            with self._connections_lock:
+                connections = list(self._connections)
+            for connection in connections:
+                connection.join()
+            self._executor.close()
+            self._stopped.set()
+
+    def _initiate_shutdown(self) -> None:
+        """Asynchronously run :meth:`stop` — called from a connection's
+        writer thread after it delivered a ``shutdown`` acknowledgement
+        (the writer cannot join itself)."""
+        threading.Thread(
+            target=self.stop, name="repro-socket-stop", daemon=True
+        ).start()
+
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        try:
+            self._listener.settimeout(_POLL_SECONDS)
+        except OSError:  # stop() closed the listener before we started
+            return
+        while not self._stopping.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed under us — stopping
+                break
+            connection = _Connection(self, sock)
+            with self._connections_lock:
+                self._connections.add(connection)
+            connection.start()
+
+    def _forget(self, connection: "_Connection") -> None:
+        with self._connections_lock:
+            self._connections.discard(connection)
+
+    def __enter__(self) -> "SocketServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SocketServer(address={str(self.address)!r})"
+
+
+class _Connection:
+    """One accepted socket: a reader thread feeding the shared executor and
+    a writer thread emitting ordered response frames — the socket twin of
+    the stdin pump in ``repro.cli``."""
+
+    def __init__(self, server: SocketServer, sock: socket.socket) -> None:
+        self._server = server
+        self._channel = LineChannel(
+            sock, max_line_bytes=server._max_line_bytes
+        )
+        self._pending: queue.Queue = queue.Queue(
+            maxsize=server._executor.workers * 4
+        )
+        self._stop = threading.Event()
+        self._send_failed = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-socket-reader", daemon=True
+        )
+        self._writer = threading.Thread(
+            target=self._write_loop, name="repro-socket-writer", daemon=True
+        )
+
+    def start(self) -> None:
+        self._writer.start()
+        self._reader.start()
+
+    def join(self) -> None:
+        """Stop this connection and wait for both its threads."""
+        self._stop.set()
+        self._reader.join()
+        self._writer.join()
+
+    # ------------------------------------------------------------------ #
+    def _done_reading(self) -> bool:
+        return (
+            self._stop.is_set()
+            or self._send_failed.is_set()
+            or self._server._stopping.is_set()
+        )
+
+    def _read_loop(self) -> None:
+        self._channel.settimeout(_POLL_SECONDS)
+        try:
+            while not self._done_reading():
+                try:
+                    line = self._channel.read_line()
+                except socket.timeout:
+                    continue
+                except OversizedLineError as exc:
+                    self._enqueue_failure(
+                        QueryResult.failure(ERROR_BAD_REQUEST, str(exc))
+                    )
+                    continue
+                except OSError:
+                    break
+                if line is None:  # client EOF
+                    break
+                if not line.strip():
+                    continue
+                envelope = decode_envelope_line(line)
+                self._pending.put(
+                    (envelope, self._server._executor.submit(envelope.request))
+                )
+        except Exception:  # noqa: BLE001 - raced executor close at shutdown
+            pass
+        finally:
+            self._pending.put(None)
+            # The writer drains what is queued, then this connection is done.
+            self._writer.join()
+            self._channel.close()
+            self._server._forget(self)
+
+    def _enqueue_failure(self, failure: QueryResult) -> None:
+        future: Future = Future()
+        future.set_result(failure)
+        self._pending.put((RequestEnvelope(request=failure), future))
+
+    def _write_loop(self) -> None:
+        if self._server._hello:
+            try:
+                self._channel.send_line(
+                    encode_frame(self._server._service.hello_payload())
+                )
+            except OSError:
+                self._send_failed.set()
+        while True:
+            item = self._pending.get()
+            if item is None:
+                return
+            envelope, future = item
+            result = future.result()  # executor futures never raise
+            if not self._send_failed.is_set():
+                try:
+                    for frame in response_frames(
+                        result,
+                        id=envelope.id,
+                        chunk_size=envelope.chunk_size or self._server._chunk_size,
+                    ):
+                        self._channel.send_line(frame)
+                except OSError:
+                    # The client went away mid-response: keep draining so the
+                    # reader never blocks on a full queue, but write nothing.
+                    self._send_failed.set()
+                    continue
+                if result.ok and result.kind == "shutdown":
+                    self._server._initiate_shutdown()

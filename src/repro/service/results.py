@@ -28,6 +28,7 @@ __all__ = [
     "ERROR_UNKNOWN_DATASET",
     "ERROR_NODE_OUT_OF_RANGE",
     "ERROR_INTERNAL",
+    "ERROR_UNAVAILABLE",
     "QueryError",
     "QueryResult",
     "result_from_wire",
@@ -41,6 +42,9 @@ ERROR_UNKNOWN_DATASET = "unknown_dataset"
 ERROR_NODE_OUT_OF_RANGE = "node_out_of_range"
 #: The backend raised unexpectedly; the message carries the original error.
 ERROR_INTERNAL = "internal_error"
+#: The transport or a worker process died before answering; the request may
+#: be retried once the server (or the router's replacement worker) is back.
+ERROR_UNAVAILABLE = "unavailable"
 
 
 @dataclass(frozen=True)

@@ -31,17 +31,20 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from ..engine import (
     BackendConfig,
     QueryEngine,
     backend_names,
     create_engine,
+    latency_percentiles_by_kind,
     resolve_backend_name,
 )
 from ..exceptions import ParameterError, ReproError
 from ..graphs import DiGraph, datasets
+from ..sling import has_saved_index
 from .control import ControlRequest
 from .queries import Query
 from .results import (
@@ -67,6 +70,19 @@ class ServiceConfig:
     memory_budget_bytes: int | None = None
     #: Per-engine LRU capacity for single-source vectors (0 disables).
     cache_size: int = 128
+    #: Fixed per-*process* cache budget, in single-source vectors.  When set
+    #: it overrides :attr:`cache_size`: the budget is divided evenly among the
+    #: open sessions (re-divided on every open/close, shrinking engines evict
+    #: LRU-first).  This is the serving-at-scale memory model: one worker box
+    #: has a fixed amount of cache RAM, so sharding datasets across more
+    #: workers gives each dataset a larger slice of it.
+    cache_budget_vectors: int | None = None
+    #: Root directory of prebuilt indexes (one subdirectory per dataset name,
+    #: as written by :func:`repro.sling.save_index`).  A session whose name
+    #: has a saved index under this root mmaps it read-only via the
+    #: ``sling-disk`` backend instead of building — how every worker in a
+    #: pool shares one packed index at near-zero per-worker cost.
+    index_dir: str | None = None
     #: Stand-in scale applied when loading registry datasets.
     scale: float = 1.0
     #: Seed for registry dataset generation.
@@ -90,6 +106,9 @@ class DatasetSession:
         self._name = name
         self._graph = graph
         self._config = config
+        #: Effective per-engine LRU capacity; the service re-divides a
+        #: ``cache_budget_vectors`` budget into this as sessions come and go.
+        self._cache_capacity = config.cache_size
         self._engines: OrderedDict[str, QueryEngine] = OrderedDict()
         #: Requested label (or ``None`` = service default) -> (engine, cached
         #: wire-form plan).  One dict lookup on the per-query hot path.
@@ -146,18 +165,63 @@ class DatasetSession:
             key = "auto" if label == "auto" else resolve_backend_name(label)
             engine = self._engines.get(key)
             if engine is None:
-                engine = create_engine(
-                    self._graph,
-                    backend=label,
-                    memory_budget_bytes=self._config.memory_budget_bytes,
-                    config=self._config.backend_config,
-                    cache_size=self._config.cache_size,
-                    allow_index_build=self._config.allow_index_build,
-                )
+                saved = self._saved_index_dir(label)
+                if saved is not None:
+                    # A prebuilt index for this dataset exists: attach to it
+                    # zero-copy instead of building.  Answers are bitwise
+                    # identical to the index that was saved (PR 5 guarantee),
+                    # so a pool of workers sharing one index directory stays
+                    # in exact agreement.
+                    engine = create_engine(
+                        self._graph,
+                        backend="sling-disk",
+                        memory_budget_bytes=self._config.memory_budget_bytes,
+                        config=replace(
+                            self._config.backend_config,
+                            work_directory=str(saved),
+                            reuse_saved_index=True,
+                        ),
+                        cache_size=self._cache_capacity,
+                        allow_index_build=True,
+                    )
+                else:
+                    engine = create_engine(
+                        self._graph,
+                        backend=label,
+                        memory_budget_bytes=self._config.memory_budget_bytes,
+                        config=self._config.backend_config,
+                        cache_size=self._cache_capacity,
+                        allow_index_build=self._config.allow_index_build,
+                    )
                 self._engines[key] = engine
             plan = engine.plan.as_dict() if engine.plan else None
             self._by_label[backend] = (engine, plan)
             return engine, plan
+
+    def _saved_index_dir(self, label: str) -> Path | None:
+        """The prebuilt-index directory for this dataset, when one should be
+        used: ``config.index_dir`` is set, a saved index exists under
+        ``<index_dir>/<name>``, and the requested backend is the planner
+        (``auto``) or a SLING flavour.  An explicitly pinned baseline backend
+        is honoured — the operator asked for that computation."""
+        root = self._config.index_dir
+        if root is None:
+            return None
+        if label != "auto" and resolve_backend_name(label) not in (
+            "sling", "sling-disk"
+        ):
+            return None
+        candidate = Path(root) / self._name
+        return candidate if has_saved_index(candidate) else None
+
+    def set_cache_capacity(self, cache_size: int) -> None:
+        """Re-size every engine's LRU (and future engines') to ``cache_size``
+        vectors — the service calls this when re-dividing its cache budget."""
+        with self._lock:
+            self._cache_capacity = cache_size
+            engines = list(self._engines.values())
+        for engine in engines:
+            engine.resize_cache(cache_size)
 
     def statistics(self) -> dict:
         """Per-session statistics: graph size plus one entry per engine.
@@ -265,12 +329,33 @@ class SimRankService:
                 )
             session = DatasetSession(key, graph, self._config)
             self._sessions[key] = session
+            self._apply_cache_budget()
             return session
 
     def close_dataset(self, name: str) -> bool:
         """Drop the session (graph, engines, caches); ``False`` if not open."""
         with self._lock:
-            return self._sessions.pop(self._canonical(name), None) is not None
+            closed = self._sessions.pop(self._canonical(name), None) is not None
+            if closed:
+                self._apply_cache_budget()
+            return closed
+
+    def _apply_cache_budget(self) -> None:
+        """Re-divide ``cache_budget_vectors`` evenly among the open sessions.
+
+        Called under the service lock whenever the session set changes; a
+        no-op without a budget.  Fewer sessions per process (i.e. more
+        workers sharding the same datasets) means a larger per-dataset LRU
+        from the same fixed memory — the mechanism that makes scale-out pay
+        on skewed workloads.
+        """
+        budget = self._config.cache_budget_vectors
+        if budget is None:
+            return
+        count = len(self._sessions)
+        share = max(1, budget // count) if count else budget
+        for session in self._sessions.values():
+            session.set_cache_capacity(share)
 
     def close_all(self) -> None:
         """Drop every session."""
@@ -293,6 +378,7 @@ class SimRankService:
         per_dataset = {}
         totals = {"total_queries": 0, "cache_hits": 0, "cache_misses": 0,
                   "total_seconds": 0.0}
+        samples: list[tuple[str, float]] = []
         for name, session in sessions:
             detail = session.statistics()
             per_dataset[name] = detail
@@ -301,6 +387,14 @@ class SimRankService:
                 totals["cache_hits"] += engine_stats["cache_hits"]
                 totals["cache_misses"] += engine_stats["cache_misses"]
                 totals["total_seconds"] += engine_stats["total_seconds"]
+                samples.extend(
+                    (record["kind"], record["seconds"])
+                    for record in engine_stats["recent_queries"]
+                )
+        # Service-wide tail latency, recomputed from every engine's bounded
+        # recent-query window with the same nearest-rank definition the
+        # per-engine dicts use (quantiles cannot be summed).
+        totals["latency_percentiles"] = latency_percentiles_by_kind(samples)
         return {"datasets": per_dataset, "totals": totals}
 
     # ------------------------------------------------------------------ #
@@ -468,6 +562,8 @@ class SimRankService:
                     "backend": self._config.backend,
                     "memory_budget_bytes": self._config.memory_budget_bytes,
                     "cache_size": self._config.cache_size,
+                    "cache_budget_vectors": self._config.cache_budget_vectors,
+                    "index_dir": self._config.index_dir,
                     "scale": self._config.scale,
                     "seed": self._config.seed,
                     "allow_index_build": self._config.allow_index_build,

@@ -40,6 +40,7 @@ from .index import BuildStatistics, SlingIndex
 from .storage import (
     DiskBackedIndex,
     OutOfCoreBuildReport,
+    has_saved_index,
     load_index,
     out_of_core_build,
     save_index,
@@ -85,6 +86,7 @@ __all__ = [
     "SlingIndex",
     "DiskBackedIndex",
     "OutOfCoreBuildReport",
+    "has_saved_index",
     "load_index",
     "out_of_core_build",
     "save_index",

@@ -56,6 +56,7 @@ from .walks import SqrtCWalker
 __all__ = [
     "save_index",
     "load_index",
+    "has_saved_index",
     "DiskBackedIndex",
     "out_of_core_build",
     "OutOfCoreBuildReport",
@@ -112,6 +113,16 @@ def save_index(index: SlingIndex, directory: str | Path) -> Path:
     }
     (directory / _META_FILE).write_text(json.dumps(meta, indent=2), encoding="utf-8")
     return directory
+
+
+def has_saved_index(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a saved index (its metadata file exists).
+
+    The cheap existence probe used to decide between attaching to a prebuilt
+    index (``BackendConfig.reuse_saved_index``, the worker-pool path) and
+    building one; actual loading still validates the graph shape.
+    """
+    return (Path(directory) / _META_FILE).exists()
 
 
 def _read_meta(directory: Path) -> dict:

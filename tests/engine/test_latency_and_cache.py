@@ -1,0 +1,83 @@
+"""Latency percentiles and runtime cache resizing on the query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    create_engine,
+    latency_percentiles_by_kind,
+    latency_quantiles,
+)
+from repro.exceptions import ParameterError
+from repro.graphs.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("GrQc", scale=0.05, seed=0)
+
+
+class TestLatencyQuantiles:
+    def test_nearest_rank_on_known_sample(self):
+        # Nearest-rank: ceil(q*n)-th order statistic — every reported value
+        # actually occurred.
+        sample = [float(v) for v in range(1, 101)]  # 1..100
+        out = latency_quantiles(sample)
+        assert out == {"count": 100, "p50": 50.0, "p95": 95.0, "p99": 99.0}
+
+    def test_tiny_samples_use_real_order_statistics(self):
+        assert latency_quantiles([0.25]) == {
+            "count": 1, "p50": 0.25, "p95": 0.25, "p99": 0.25
+        }
+        out = latency_quantiles([0.2, 0.1])
+        assert out["count"] == 2 and out["p50"] == 0.1 and out["p99"] == 0.2
+
+    def test_empty_sample_reports_count_only(self):
+        assert latency_quantiles([]) == {"count": 0}
+
+    def test_grouping_by_kind(self):
+        records = [("single_pair", 0.1), ("top_k", 0.3), ("single_pair", 0.2)]
+        grouped = latency_percentiles_by_kind(records)
+        assert sorted(grouped) == ["single_pair", "top_k"]
+        assert grouped["single_pair"]["count"] == 2
+        assert grouped["top_k"]["p50"] == 0.3
+
+    def test_engine_statistics_expose_percentiles(self, graph):
+        engine = create_engine(graph, backend="montecarlo", cache_size=8)
+        engine.single_pair(0, 1)
+        engine.top_k(0, 3)
+        stats = engine.statistics.as_dict()
+        assert stats["latency_percentiles"]["single_pair"]["count"] == 1
+        assert stats["latency_percentiles"]["top_k"]["p99"] >= 0.0
+
+
+class TestResizeCache:
+    def test_shrinking_evicts_oldest_and_counts_evictions(self, graph):
+        engine = create_engine(graph, backend="montecarlo", cache_size=8)
+        for node in range(6):
+            engine.single_source(node)
+        before = engine.statistics.cache_evictions
+        engine.resize_cache(2)
+        assert engine.statistics.cache_evictions == before + 4
+        # The two most recent sources survive.
+        engine.single_source(5)
+        assert engine.statistics.cache_hits >= 1
+
+    def test_growing_keeps_entries(self, graph):
+        engine = create_engine(graph, backend="montecarlo", cache_size=2)
+        engine.single_source(0)
+        engine.resize_cache(16)
+        hits = engine.statistics.cache_hits
+        engine.single_source(0)
+        assert engine.statistics.cache_hits == hits + 1
+
+    def test_zero_disables_and_negative_rejects(self, graph):
+        engine = create_engine(graph, backend="montecarlo", cache_size=4)
+        engine.single_source(0)
+        engine.resize_cache(0)
+        hits = engine.statistics.cache_hits
+        engine.single_source(0)
+        assert engine.statistics.cache_hits == hits  # nothing cached now
+        with pytest.raises(ParameterError):
+            engine.resize_cache(-1)

@@ -1,14 +1,22 @@
-"""`SimRankClient` parity: in-process and subprocess transports agree.
+"""`SimRankClient` parity: in-process, subprocess, and socket transports
+agree.
 
 The shared scenario drives every query kind and every control operation
-through both transports with identical settings and asserts the *values*
+through every transport with identical settings and asserts the *values*
 are identical (timing fields are normalised away — they are the only
 thing allowed to differ).  The subprocess half doubles as the
 client↔server smoke suite CI runs against a real ``repro serve`` child
-(select it with ``-k subprocess``).
+(select it with ``-k subprocess``); the socket half runs the same
+scenario across a real Unix-domain socket (``-k socket``), and
+``tests/service/test_router.py`` reuses it against a multi-worker router.
 """
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
 
 import pytest
 
@@ -26,7 +34,7 @@ SCALE, EPSILON, SEED, MC_WALKS = 0.05, 0.1, 0, 30
 
 #: Timing keys normalised away before parity comparison; everything else
 #: must match exactly.
-TIMING_KEYS = {"seconds", "total_seconds", "recent_queries"}
+TIMING_KEYS = {"seconds", "total_seconds", "recent_queries", "latency_percentiles"}
 
 
 def make_client(transport: str) -> SimRankClient:
@@ -39,6 +47,10 @@ def make_client(transport: str) -> SimRankClient:
                     epsilon=EPSILON, seed=SEED, mc_num_walks=MC_WALKS
                 ),
             )
+        )
+    if transport == "socket":
+        return SimRankClient.connect_socket(
+            scale=SCALE, epsilon=EPSILON, seed=SEED, mc_walks=MC_WALKS
         )
     return SimRankClient.connect(
         scale=SCALE, epsilon=EPSILON, seed=SEED, mc_walks=MC_WALKS
@@ -101,13 +113,14 @@ class TestTransportParity:
             local_record = run_scenario(local)
         with make_client("subprocess") as remote:
             remote_record = run_scenario(remote)
-        assert [label for label, _ in local_record] == [
-            label for label, _ in remote_record
-        ]
-        for (label, local_value), (_, remote_value) in zip(
-            local_record, remote_record
-        ):
-            assert local_value == remote_value, f"transports diverge at {label!r}"
+        assert_records_identical(local_record, remote_record)
+
+    def test_socket_transport_record_is_identical_too(self):
+        with make_client("in_process") as local:
+            local_record = run_scenario(local)
+        with make_client("socket") as remote:
+            remote_record = run_scenario(remote)
+        assert_records_identical(local_record, remote_record)
 
     def test_scenario_covers_every_kind(self):
         with make_client("in_process") as client:
@@ -117,7 +130,19 @@ class TestTransportParity:
                 "describe-dataset", "shutdown"} <= labels
 
 
-@pytest.fixture(params=["in_process", "subprocess"])
+def assert_records_identical(local_record, remote_record):
+    """Same labels in the same order, identical values at every step —
+    shared with the socket and router suites."""
+    assert [label for label, _ in local_record] == [
+        label for label, _ in remote_record
+    ]
+    for (label, local_value), (_, remote_value) in zip(
+        local_record, remote_record
+    ):
+        assert local_value == remote_value, f"transports diverge at {label!r}"
+
+
+@pytest.fixture(params=["in_process", "subprocess", "socket"])
 def client(request):
     instance = make_client(request.param)
     yield instance
@@ -197,3 +222,56 @@ class TestClientBehavior:
         stats = client.stats()
         assert stats["totals"]["total_queries"] == 1
         assert client.list_datasets() == ["GrQc"]
+
+    def test_stats_expose_latency_percentiles(self, client):
+        client.open_dataset("GrQc")
+        for node in range(4):
+            client.single_pair("GrQc", node, node + 1)
+        percentiles = client.stats()["totals"]["latency_percentiles"]
+        assert percentiles["single_pair"]["count"] == 4
+        assert (
+            percentiles["single_pair"]["p50"]
+            <= percentiles["single_pair"]["p95"]
+            <= percentiles["single_pair"]["p99"]
+        )
+
+
+class TestDeadChildMidRequest:
+    """A server child dying mid-request must resolve the in-flight request
+    to a structured ``unavailable`` envelope and reap the corpse — never
+    hang the caller on a pipe read or leak a zombie."""
+
+    @pytest.mark.parametrize("transport", ["subprocess", "socket"])
+    def test_killed_child_surfaces_error_envelope_and_is_reaped(
+        self, transport
+    ):
+        from repro.service import SinglePairQuery
+
+        client = make_client(transport)
+        try:
+            client.open_dataset("GrQc")
+            process = client._transport._process
+            # Freeze the child so the query is genuinely in flight (written,
+            # unanswered) at the moment of death.
+            os.kill(process.pid, signal.SIGSTOP)
+            results = []
+            worker = threading.Thread(
+                target=lambda: results.append(
+                    client.execute(SinglePairQuery("GrQc", 1, 2))
+                )
+            )
+            worker.start()
+            time.sleep(0.3)  # let the request reach the frozen child
+            os.kill(process.pid, signal.SIGKILL)  # acts even while stopped
+            worker.join(timeout=30)
+            assert not worker.is_alive(), "request hung on a dead child"
+            (result,) = results
+            assert result.ok is False
+            assert result.error.code == "unavailable"
+            assert result.kind == "single_pair"
+            assert result.dataset == "GrQc"
+            assert process.poll() is not None  # reaped — no zombie left
+            with pytest.raises(ServiceError):  # later calls fail fast
+                client.ping()
+        finally:
+            client.close()

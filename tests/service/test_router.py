@@ -1,0 +1,211 @@
+"""`Router` + `WorkerPool`: sharded serving parity and failover.
+
+The router fronts real ``repro serve --unix`` worker processes, so these
+tests exercise the full stack: spawn, hello, per-dataset sharding,
+control-plane fan-out/merge, and — the point of the subsystem — a
+SIGKILLed worker whose in-flight requests resolve to ``unavailable``
+error envelopes (never a hang) and whose replacement, re-warmed with the
+replayed open datasets, answers the very same client connection.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+import test_client
+
+from repro.service import (
+    Address,
+    HashRing,
+    Router,
+    SimRankClient,
+    SinglePairQuery,
+    WorkerPool,
+)
+
+#: Worker processes are configured exactly like the shared parity scenario.
+SERVE_ARGS = [
+    "--scale", str(test_client.SCALE),
+    "--epsilon", str(test_client.EPSILON),
+    "--seed", str(test_client.SEED),
+    "--mc-walks", str(test_client.MC_WALKS),
+    "--backend", "auto",
+]
+
+
+def start_router(
+    workers: int = 2,
+    *,
+    pins: dict | None = None,
+    health_interval: float = 0.5,
+    request_timeout: float = 60.0,
+) -> tuple[WorkerPool, Router]:
+    pool = WorkerPool(
+        workers, serve_args=SERVE_ARGS, health_interval=health_interval
+    )
+    pool.start()
+    router = Router(
+        pool,
+        address=Address(family="tcp", host="127.0.0.1", port=0),
+        pins=pins,
+        request_timeout=request_timeout,
+    )
+    router.start()
+    return pool, router
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_and_case_insensitive(self):
+        ring = HashRing(4)
+        assert ring.lookup("GrQc") == ring.lookup("grqc") == ring.lookup("GRQC")
+        assert ring.assignments(["GrQc", "AS"]) == ring.assignments(["GrQc", "AS"])
+
+    def test_every_worker_owns_something_eventually(self):
+        ring = HashRing(3)
+        owners = {ring.lookup(f"dataset-{i}") for i in range(64)}
+        assert owners == {0, 1, 2}
+
+    def test_pins_override_the_ring(self):
+        pool_free_keys = ["GrQc", "AS"]
+        ring = HashRing(2)
+        natural = ring.assignments(pool_free_keys)
+        pool, router = start_router(
+            2, pins={name: 1 - owner for name, owner in natural.items()}
+        )
+        try:
+            for name, owner in natural.items():
+                assert router.shard_for(name) == 1 - owner
+        finally:
+            router.stop()
+
+
+class TestRouterParity:
+    def test_scenario_matches_in_process_through_two_workers(self):
+        with test_client.make_client("in_process") as local:
+            local_record = test_client.run_scenario(local)
+        pool, router = start_router(2)
+        try:
+            remote = SimRankClient(address=str(router.address))
+            remote_record = test_client.run_scenario(remote)
+            remote.close()
+            # The scenario's shutdown broadcast stopped router and workers.
+            assert router.wait(timeout=60)
+            for worker in pool._workers:
+                assert worker.process.poll() is not None
+        finally:
+            router.stop()
+        test_client.assert_records_identical(local_record, remote_record)
+
+    def test_fan_out_merges_datasets_across_workers(self):
+        # Pin the two datasets to different workers so list/stats really
+        # merge across processes.
+        pool, router = start_router(2, pins={"GrQc": 0, "AS": 1})
+        try:
+            client = SimRankClient(address=str(router.address))
+            client.open_dataset("GrQc")
+            client.open_dataset("AS")
+            assert router.shard_for("GrQc") != router.shard_for("AS")
+            assert client.list_datasets() == ["GrQc", "AS"]
+            client.single_pair("GrQc", 1, 2)
+            client.single_pair("AS", 1, 2)
+            stats = client.stats()
+            assert set(stats["datasets"]) == {"GrQc", "AS"}
+            assert stats["totals"]["total_queries"] == 2
+            percentiles = stats["totals"]["latency_percentiles"]
+            assert percentiles["single_pair"]["count"] == 2
+            assert client.describe()["datasets"] == ["GrQc", "AS"]
+            client.close_dataset("AS")
+            assert client.list_datasets() == ["GrQc"]
+            client.close()
+        finally:
+            router.stop()
+
+
+class TestFailover:
+    def test_sigkilled_worker_yields_error_envelopes_then_recovers(self):
+        pool, router = start_router(2, pins={"GrQc": 0, "AS": 1})
+        try:
+            client = SimRankClient(address=str(router.address))
+            client.open_dataset("GrQc")
+            client.open_dataset("AS")
+            baseline = client.single_pair("GrQc", 1, 2)
+
+            victim = pool._workers[0].process
+            # Freeze the victim so a request is in flight when it dies.
+            os.kill(victim.pid, signal.SIGSTOP)
+            results = []
+            worker = threading.Thread(
+                target=lambda: results.append(
+                    client.execute(SinglePairQuery("GrQc", 1, 2))
+                )
+            )
+            worker.start()
+            time.sleep(0.3)
+            os.kill(victim.pid, signal.SIGKILL)
+            worker.join(timeout=60)
+            assert not worker.is_alive(), "in-flight request hung"
+            (result,) = results
+            assert result.ok is False
+            assert result.error.code == "unavailable"
+
+            # The other shard keeps answering the same client meanwhile.
+            assert client.single_pair("AS", 1, 2) >= 0.0
+
+            # The health loop restarts the worker and replays its open
+            # datasets; the same connection then succeeds again.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline and pool.restart_counts()[0] == 0:
+                time.sleep(0.1)
+            assert pool.restart_counts()[0] == 1
+            deadline = time.monotonic() + 60
+            recovered = None
+            while time.monotonic() < deadline:
+                retry = client.execute(SinglePairQuery("GrQc", 1, 2))
+                if retry.ok:
+                    recovered = retry
+                    break
+                assert retry.error.code == "unavailable"  # never a hang
+                time.sleep(0.2)
+            assert recovered is not None, "worker never recovered"
+            assert recovered.value == baseline  # same config, same answer
+            assert client.list_datasets() == ["GrQc", "AS"]  # state replayed
+            client.close()
+        finally:
+            router.stop()
+
+    def test_shutdown_stops_router_and_all_workers(self):
+        pool, router = start_router(2)
+        try:
+            client = SimRankClient(address=str(router.address))
+            assert client.ping()["pong"] is True
+            assert client.shutdown() == {"stopping": True}
+            assert router.wait(timeout=60)
+            for worker in pool._workers:
+                assert worker.process.poll() is not None
+            for worker in pool._workers:
+                assert not os.path.exists(worker.address.path)
+        finally:
+            router.stop()
+
+
+@pytest.mark.parametrize("spec", ["GrQc=2", "nope", "=1"])
+def test_cli_rejects_bad_pins(spec):
+    from repro.cli import main
+
+    if spec == "GrQc=2":
+        # Syntactically fine but out of the worker range: the Router raises
+        # and the CLI reports it — exercised at the library layer here to
+        # avoid spawning workers.
+        pool = WorkerPool(1, serve_args=SERVE_ARGS)
+        with pytest.raises(ValueError):
+            Router(
+                pool,
+                address=Address(family="tcp", host="127.0.0.1", port=0),
+                pins={"GrQc": 2},
+            )
+    else:
+        assert main(["router", "--workers", "1", "--pin", spec]) == 2
