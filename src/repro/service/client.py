@@ -430,6 +430,10 @@ class _SocketTransport:
 
     def close(self) -> None:
         with self._lock:
+            # Closed means closed: later roundtrips must fail fast with the
+            # same ServiceError the other transports raise, not return a
+            # went-away-mid-request envelope from the dead channel.
+            self._shut_down = True
             if self._process is not None and self._process.poll() is None:
                 self._process.kill()
             self._teardown()

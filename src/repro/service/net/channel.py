@@ -165,6 +165,10 @@ class LineChannel:
         self._sock = sock
         self._buffer = bytearray()
         self._eof = False
+        #: True while an oversized line is being discarded — survives a
+        #: ``socket.timeout`` mid-discard so the next ``read_line`` resumes
+        #: discarding instead of returning the line's tail as a frame.
+        self._discarding = False
         self._send_lock = threading.Lock()
         self.max_line_bytes = max_line_bytes
 
@@ -185,6 +189,12 @@ class LineChannel:
         following line.  An unterminated final line before EOF is returned
         as-is (matching the stdin pump's tolerance).
         """
+        if self._discarding:
+            # A timeout interrupted a previous discard; finish it before
+            # surfacing anything, then report the frame-limit breach the
+            # interrupted call never got to raise.
+            self._discard_current_line()
+            raise OversizedLineError(self.max_line_bytes)
         while True:
             newline = self._buffer.find(b"\n")
             if newline >= 0:
@@ -213,14 +223,19 @@ class LineChannel:
 
     def _discard_current_line(self) -> None:
         """Throw away buffered bytes up to and including the next newline,
-        reading (and discarding) further input until it arrives."""
+        reading (and discarding) further input until it arrives.  A timeout
+        raised by ``recv`` leaves :attr:`_discarding` set, so the next
+        ``read_line`` resumes here rather than treating the tail as data."""
+        self._discarding = True
         while True:
             newline = self._buffer.find(b"\n")
             if newline >= 0:
                 del self._buffer[: newline + 1]
+                self._discarding = False
                 return
             self._buffer.clear()
             if self._eof:
+                self._discarding = False
                 return
             chunk = self._sock.recv(65536)
             if not chunk:

@@ -272,6 +272,12 @@ class WorkerPool:
                     return
                 process = worker.process
                 if process is not None and process.poll() is not None:
+                    if process.returncode == 0:
+                        # A clean exit is deliberate — an acknowledged
+                        # shutdown broadcast racing this health pass, not a
+                        # failure to heal.  Respawning here would churn a
+                        # worker that pool.stop() is about to reap anyway.
+                        continue
                     self._restart(worker)
                     continue
                 healthy = False
@@ -520,7 +526,7 @@ class Router:
             try:
                 sock = self._pool.worker_address(index).connect(timeout=5.0)
             except OSError:
-                return
+                continue  # best-effort: keep warming the remaining datasets
             channel = LineChannel(sock)
             try:
                 channel.settimeout(self._request_timeout)
@@ -531,7 +537,7 @@ class Router:
                 ))
                 channel.read_line()
             except OSError:
-                return
+                continue
             finally:
                 channel.close()
 

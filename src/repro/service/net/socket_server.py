@@ -7,7 +7,10 @@ loop's contract — an opening ``hello`` frame, one response per request line
 ``id`` echo on every frame — with up to ``workers`` requests of a
 connection executing behind the head of its line.  All connections share
 one :class:`~repro.service.ParallelExecutor` and therefore one warm
-service: sessions opened by one client answer every client.
+service: sessions opened by one client answer every client.  ``ping``
+alone bypasses the executor — it is answered from the connection's reader
+thread — so liveness probes (the worker pool's health checks) stay
+responsive while every executor thread is deep in a long query.
 
 Hostile peers are contained per connection: lines over the byte limit are
 answered with a ``bad_request`` envelope (the connection survives), garbage
@@ -27,6 +30,7 @@ import threading
 from concurrent.futures import Future
 
 from ...exceptions import ParameterError
+from ..control import PingRequest
 from ..parallel import ParallelExecutor
 from ..results import ERROR_BAD_REQUEST, QueryResult
 from ..service import SimRankService
@@ -37,6 +41,12 @@ __all__ = ["SocketServer"]
 
 #: How often blocked reads wake up to notice a stop request, in seconds.
 _POLL_SECONDS = 0.2
+
+#: How long a torn-down connection's full response queue may sit unmoved
+#: while the writer is inside a send before the socket is closed under it —
+#: breaking a ``sendall`` wedged on a client that stopped reading, so
+#: :meth:`SocketServer.stop` is never held hostage by one hostile peer.
+_SEND_STALL_SECONDS = 5.0
 
 
 class SocketServer:
@@ -194,6 +204,10 @@ class _Connection:
         )
         self._stop = threading.Event()
         self._send_failed = threading.Event()
+        #: True while the writer is inside a socket send — the only state in
+        #: which a full queue during teardown justifies closing the socket
+        #: under it (a writer waiting on a slow query must be left to drain).
+        self._sending = False
         self._reader = threading.Thread(
             target=self._read_loop, name="repro-socket-reader", daemon=True
         )
@@ -228,9 +242,10 @@ class _Connection:
                 except socket.timeout:
                     continue
                 except OversizedLineError as exc:
-                    self._enqueue_failure(
+                    if not self._enqueue_failure(
                         QueryResult.failure(ERROR_BAD_REQUEST, str(exc))
-                    )
+                    ):
+                        break
                     continue
                 except OSError:
                     break
@@ -239,31 +254,84 @@ class _Connection:
                 if not line.strip():
                     continue
                 envelope = decode_envelope_line(line)
-                self._pending.put(
-                    (envelope, self._server._executor.submit(envelope.request))
-                )
+                if isinstance(envelope.request, PingRequest):
+                    # Answer pings out-of-band: ping is O(1) and must stay
+                    # responsive while the shared executor is deep in a long
+                    # query, or the pool's health checker would mistake a
+                    # busy worker for a wedged one and kill it mid-request.
+                    # Routing the pre-completed future through the same
+                    # queue keeps this connection's responses ordered.
+                    future: Future = Future()
+                    future.set_result(
+                        self._server._service.execute_request(envelope.request)
+                    )
+                else:
+                    future = self._server._executor.submit(envelope.request)
+                if not self._offer((envelope, future)):
+                    break
         except Exception:  # noqa: BLE001 - raced executor close at shutdown
             pass
         finally:
-            self._pending.put(None)
-            # The writer drains what is queued, then this connection is done.
-            self._writer.join()
+            self._finish_writer()
             self._channel.close()
             self._server._forget(self)
 
-    def _enqueue_failure(self, failure: QueryResult) -> None:
+    def _enqueue_failure(self, failure: QueryResult) -> bool:
         future: Future = Future()
         future.set_result(failure)
-        self._pending.put((RequestEnvelope(request=failure), future))
+        return self._offer((RequestEnvelope(request=failure), future))
+
+    def _offer(self, item: tuple) -> bool:
+        """Queue ``item`` for the writer, never blocking past teardown: the
+        bounded put is retried on a short timeout so a writer wedged in a
+        send to a stalled client cannot pin the reader (and through it
+        ``join()``) forever; ``False`` once the connection is going down."""
+        while True:
+            try:
+                self._pending.put(item, timeout=_POLL_SECONDS)
+                return True
+            except queue.Full:
+                if self._done_reading():
+                    return False
+
+    def _finish_writer(self) -> None:
+        """Hand the writer its end-of-queue sentinel and wait for it.
+
+        If the queue stays full during teardown while the writer sits in a
+        socket send (a client that submits requests but never reads its
+        responses), the socket is closed under the writer after
+        ``_SEND_STALL_SECONDS`` — its send raises, it drains the queue
+        without writing, and the sentinel goes through.  A writer merely
+        waiting on a slow in-flight query is left alone: those futures
+        resolve, which is the in-flight drain ``stop()`` promises.
+        """
+        stalled = 0.0
+        while True:
+            try:
+                self._pending.put(None, timeout=_POLL_SECONDS)
+                break
+            except queue.Full:
+                if not (self._done_reading() and self._sending):
+                    stalled = 0.0
+                    continue
+                stalled += _POLL_SECONDS
+                if stalled >= _SEND_STALL_SECONDS:
+                    self._send_failed.set()
+                    self._channel.close()
+        # The writer drains what is queued, then this connection is done.
+        self._writer.join()
 
     def _write_loop(self) -> None:
         if self._server._hello:
+            self._sending = True
             try:
                 self._channel.send_line(
                     encode_frame(self._server._service.hello_payload())
                 )
             except OSError:
                 self._send_failed.set()
+            finally:
+                self._sending = False
         while True:
             item = self._pending.get()
             if item is None:
@@ -271,6 +339,7 @@ class _Connection:
             envelope, future = item
             result = future.result()  # executor futures never raise
             if not self._send_failed.is_set():
+                self._sending = True
                 try:
                     for frame in response_frames(
                         result,
@@ -283,5 +352,7 @@ class _Connection:
                     # reader never blocks on a full queue, but write nothing.
                     self._send_failed.set()
                     continue
+                finally:
+                    self._sending = False
                 if result.ok and result.kind == "shutdown":
                     self._server._initiate_shutdown()

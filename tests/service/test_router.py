@@ -177,6 +177,50 @@ class TestFailover:
         finally:
             router.stop()
 
+    def test_replay_continues_past_a_failed_dataset(self, monkeypatch):
+        """One dataset failing to replay must not abandon the rest: the
+        restarted worker still gets warmed with every later dataset."""
+        import test_socket_server
+
+        from repro.service.net import router as router_module
+        from repro.service.net.channel import LineChannel
+
+        service = test_socket_server.make_service()
+        worker = test_socket_server.SocketServer(
+            service, address=Address(family="tcp", host="127.0.0.1", port=0)
+        )
+        worker.start()
+
+        class _StubPool:
+            count = 1
+            on_restart = None
+
+            def worker_address(self, index):
+                return worker.address
+
+        router = Router(
+            _StubPool(), address=Address(family="tcp", host="127.0.0.1", port=0)
+        )
+        sends = {"count": 0}
+
+        class FlakyChannel(LineChannel):
+            def send_line(self, line):
+                sends["count"] += 1
+                if sends["count"] == 1:
+                    raise OSError("injected replay failure")
+                super().send_line(line)
+
+        monkeypatch.setattr(router_module, "LineChannel", FlakyChannel)
+        try:
+            router._record_open("AS")  # replay of this one fails ...
+            router._record_open("GrQc")  # ... this one must still warm
+            router._replay_open_datasets(0)
+            assert sends["count"] >= 2, "replay stopped at the first failure"
+            assert service.list_datasets() == ["GrQc"]
+        finally:
+            router.stop(stop_pool=False)
+            worker.stop()
+
     def test_shutdown_stops_router_and_all_workers(self):
         pool, router = start_router(2)
         try:

@@ -21,6 +21,7 @@ from repro.engine import BackendConfig
 from repro.service import (
     Address,
     ServiceConfig,
+    ServiceError,
     SimRankClient,
     SimRankService,
     SocketServer,
@@ -92,6 +93,16 @@ class TestParityOverSockets:
         follow_up = SimRankClient(address=str(server.address))
         assert follow_up.ping()["pong"] is True
         follow_up.close()
+
+    def test_close_marks_a_shared_client_closed(self, server):
+        client = SimRankClient(address=str(server.address))
+        assert client.ping()["pong"] is True
+        client.close()
+        assert client.closed is True
+        # Requests after close fail fast, exactly like the other transports
+        # — not with a misleading went-away-mid-request envelope.
+        with pytest.raises(ServiceError, match="shut down"):
+            client.ping()
 
 
 class TestHostilePeers:
@@ -191,6 +202,52 @@ class TestHostilePeers:
         assert errors == []
 
 
+class TestPingStaysResponsive:
+    def test_ping_answered_while_executor_is_busy(self):
+        """Pings bypass the shared executor: a health probe must round-trip
+        while the only worker thread is deep in a long query, or the pool's
+        health checker would kill a merely-busy worker mid-request."""
+        service = make_service()
+        started = threading.Event()
+        release = threading.Event()
+        original = service.execute
+
+        def slow_execute(request, *, backend=None):
+            started.set()
+            release.wait(timeout=60)
+            return original(request, backend=backend)
+
+        service.execute = slow_execute
+        server = SocketServer(
+            service,
+            address=Address(family="tcp", host="127.0.0.1", port=0),
+            workers=1,
+        )
+        server.start()
+        try:
+            busy = raw_connection(server)
+            busy.send_line(
+                '{"v":2,"id":1,"kind":"single_pair","dataset":"GrQc",'
+                '"node_u":1,"node_v":2}'
+            )
+            assert started.wait(timeout=30)
+            probe = raw_connection(server)
+            probe.settimeout(5.0)  # a queued-behind-the-query ping trips this
+            try:
+                probe.send_line('{"v":2,"id":"health","kind":"ping"}')
+                frame = json.loads(probe.read_line())
+                assert frame["ok"] is True and frame["value"]["pong"] is True
+            finally:
+                probe.close()
+            release.set()
+            frame = json.loads(busy.read_line())
+            assert frame["id"] == 1
+            busy.close()
+        finally:
+            release.set()
+            server.stop()
+
+
 class TestChannelAndAddress:
     def test_parse_address_forms(self):
         assert parse_address("127.0.0.1:7077").port == 7077
@@ -220,4 +277,23 @@ class TestChannelAndAddress:
             assert receiver.read_line() is None  # EOF
         finally:
             sender.close()
+            receiver.close()
+
+    def test_oversized_discard_resumes_after_timeout(self):
+        left, right = socket.socketpair()
+        receiver = LineChannel(right, max_line_bytes=64)
+        try:
+            receiver.settimeout(0.2)
+            left.sendall(b"x" * 500)  # oversized, newline not yet sent
+            with pytest.raises(socket.timeout):
+                receiver.read_line()  # discard interrupted mid-line
+            left.sendall(b"tail-of-the-oversized-line\n")
+            left.sendall(b"after\n")
+            # The resumed discard still reports the frame-limit breach and
+            # must NOT surface the oversized line's tail as a frame.
+            with pytest.raises(OversizedLineError):
+                receiver.read_line()
+            assert receiver.read_line() == "after"
+        finally:
+            left.close()
             receiver.close()
