@@ -29,6 +29,7 @@ import math
 import sys
 from pathlib import Path
 
+import bench_cache_traffic
 import bench_packed_query
 import bench_serving
 import bench_single_source
@@ -115,6 +116,51 @@ RECORDED_BENCHMARKS = {
             "overall_p99_ms",
         ),
         "required_true": ("identical_values",),
+    },
+    "cache_traffic": {
+        "run": lambda smoke: bench_cache_traffic.run_benchmark(
+            **(bench_cache_traffic.SMOKE_OVERRIDES if smoke else {})
+        ),
+        "required_keys": (
+            "benchmark",
+            "datasets",
+            "num_nodes",
+            "pattern",
+            "workload",
+            "num_queries",
+            "cache_sizes",
+            "cells",
+            "speedups",
+            "warm_hit_rate",
+            "p99_improvement",
+            "targets",
+            "meets_targets",
+            "identical_values",
+            "router_identical_values",
+            "hit_rate_ok",
+            "p99_ok",
+        ),
+        "required_cells": (
+            "cache_0",
+            "cache_small",
+            "cache_large",
+            "router_workers_2",
+        ),
+        # hit_rate is intentionally not a cell field: it is legitimately
+        # 0.0 in the cache_0 cell, and the > 0 check would reject it.
+        "cell_fields": (
+            "seconds",
+            "queries_per_second",
+            "p50_ms",
+            "p99_ms",
+            "cacheable_p99_ms",
+        ),
+        "required_true": (
+            "identical_values",
+            "router_identical_values",
+            "hit_rate_ok",
+            "p99_ok",
+        ),
     },
 }
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Replay a realistic traffic stream and watch the cache earn its keep.
+
+The :mod:`repro.evaluation.traffic` generator models what production
+query streams actually look like — Zipf-skewed source popularity, a hot
+set that drifts over time, periodic bursts, and a mix of ``top_k`` /
+``single_source`` / ``single_pair`` requests.  This example generates one
+such stream (the same one ``repro workload`` emits) and replays it twice
+through an in-process :class:`~repro.service.SimRankService`:
+
+1. with caching disabled (``cache_size=0``) — every vector recomputed;
+2. with a vector cache (``cache_size=64``) — the skewed hot set hits.
+
+It then reads the per-kind hit rates and hit/miss latency percentiles the
+statistics surface exposes, so you can see *where* the speedup comes
+from, not just that it happened.
+
+Run with:
+
+    PYTHONPATH=src python examples/traffic_replay.py [--queries 600]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation.traffic import (
+    TrafficPattern,
+    generate_traffic,
+    replay_events,
+    summarize_events,
+)
+from repro.graphs import generators
+from repro.service import ServiceConfig, SimRankService
+
+
+def build_stream(num_nodes: int, queries: int, seed: int):
+    pattern = TrafficPattern(
+        num_queries=queries,
+        seed=seed,
+        zipf_exponent=1.2,
+        hot_set_size=12,
+        drift_every=150,
+        drift_step=2,
+        burst_every=120,
+        burst_length=24,
+        pair_mode="hot",
+    )
+    return generate_traffic({"community": num_nodes}, pattern)
+
+
+def replay(graph, events, cache_size: int) -> dict:
+    service = SimRankService(
+        ServiceConfig(backend="power", cache_size=cache_size)
+    )
+    service.open_dataset("community", graph=graph)
+    results = replay_events(service, events)
+    assert all(result.ok for result in results)
+    return service.statistics()["totals"]
+
+
+def describe(label: str, totals: dict) -> None:
+    print(f"--- {label} ---")
+    print(f"queries: {totals['total_queries']}, "
+          f"hit rate: {totals['cache_hit_rate']:.2f}")
+    for kind, rate in sorted(totals["hit_rate_by_kind"].items()):
+        print(f"  hit rate ({kind}): {rate:.2f}")
+    by_outcome = totals["latency_percentiles_by_outcome"]
+    for outcome in ("hit", "miss"):
+        stats = by_outcome.get(outcome)
+        if stats and stats["count"]:
+            print(f"  {outcome} latency: p50 {stats['p50']*1e3:.3f} ms, "
+                  f"p99 {stats['p99']*1e3:.3f} ms  "
+                  f"({stats['count']} queries)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--communities", type=int, default=4,
+                        help="communities in the generated graph (default: 4)")
+    parser.add_argument("--community-size", type=int, default=12,
+                        help="nodes per community (default: 12)")
+    parser.add_argument("--queries", type=int, default=600,
+                        help="traffic events to replay (default: 600)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    graph = generators.two_level_community(
+        args.communities, args.community_size, seed=args.seed
+    )
+    events = build_stream(graph.num_nodes, args.queries, args.seed)
+    summary = summarize_events(events)
+    print(f"stream: {summary['num_queries']} queries over "
+          f"{graph.num_nodes} nodes, kinds {summary['by_kind']}, "
+          f"{summary['by_phase']['burst']} burst-phase events")
+
+    cold = replay(graph, events, cache_size=0)
+    warm = replay(graph, events, cache_size=64)
+    describe("cache disabled", cold)
+    describe("cache_size=64", warm)
+
+    speedup = (cold["total_seconds"] / warm["total_seconds"]
+               if warm["total_seconds"] else float("inf"))
+    print(f"\nsame stream, same answers, {speedup:.1f}x less compute time "
+          f"with the cache on")
+    print("traffic replay complete")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

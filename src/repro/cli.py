@@ -56,9 +56,15 @@ import threading
 from dataclasses import replace
 from typing import Sequence, TextIO
 
-from .engine import BackendConfig, backend_names
+from .engine import PAIR_AMORTIZE_THRESHOLD, BackendConfig, backend_names
 from .evaluation import experiments, reporting
 from .evaluation.experiments import MethodConfig
+from .evaluation.traffic import (
+    TrafficPattern,
+    generate_traffic,
+    summarize_events,
+)
+from .exceptions import ParameterError
 from .graphs import datasets
 from .service import (
     ParallelExecutor,
@@ -140,6 +146,13 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {parsed}")
+    return parsed
+
+
 def _add_workers_option(
     parser: argparse.ArgumentParser, *, windowed_note: bool = False
 ) -> None:
@@ -183,13 +196,30 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--cache-budget",
-        type=_positive_int,
+        type=_nonnegative_int,
         default=None,
         metavar="N",
         help="process-wide budget of cached single-source vectors, divided "
-        "evenly across open datasets (caps --cache-size per dataset; this is "
-        "what makes sharding datasets across router workers multiply cache "
-        "capacity per box)",
+        "evenly across open datasets (caps --cache-size per dataset; 0 "
+        "disables caching entirely; this is what makes sharding datasets "
+        "across router workers multiply cache capacity per box)",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="expire cached single-source vectors after this many seconds "
+        "(default: never)",
+    )
+    parser.add_argument(
+        "--pair-admit-after",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="admit a source's vector to the cache after N standalone "
+        "single-pair probes on it (0 disables cross-kind admission; "
+        f"default: {PAIR_AMORTIZE_THRESHOLD})",
     )
     parser.add_argument(
         "--index-dir",
@@ -332,6 +362,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve over a Unix-domain socket at PATH instead of stdin/stdout",
     )
 
+    workload = subparsers.add_parser(
+        "workload",
+        help="emit a deterministic, realistically-shaped JSONL request "
+        "stream (Zipf skew, drifting hot set, bursts) for batch/serve/router",
+    )
+    workload.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="stand-in graph scale multiplier (default: 0.1); only used to "
+        "size the per-dataset node ranges",
+    )
+    workload.add_argument("--seed", type=int, default=0, help="stream seed")
+    _add_dataset_option(workload, ["GrQc"])
+    workload.add_argument(
+        "--queries", type=_nonnegative_int, default=1000,
+        help="events to generate (default: 1000)",
+    )
+    workload.add_argument(
+        "--zipf", type=_positive_float, default=1.2, metavar="S",
+        help="Zipf exponent of source popularity (default: 1.2)",
+    )
+    workload.add_argument(
+        "--hot-size", type=_positive_int, default=32, metavar="N",
+        help="size of the burst-phase hot set in ranks (default: 32)",
+    )
+    workload.add_argument(
+        "--drift-every", type=_nonnegative_int, default=200, metavar="N",
+        help="queries between hot-set drifts; 0 disables (default: 200)",
+    )
+    workload.add_argument(
+        "--drift-step", type=_nonnegative_int, default=1, metavar="N",
+        help="permutation rotation per drift (default: 1)",
+    )
+    workload.add_argument(
+        "--burst-every", type=_nonnegative_int, default=160, metavar="N",
+        help="burst cycle period in queries; 0 disables (default: 160)",
+    )
+    workload.add_argument(
+        "--burst-length", type=_nonnegative_int, default=32, metavar="N",
+        help="burst-phase length per cycle (default: 32)",
+    )
+    workload.add_argument(
+        "--tail", type=float, default=0.10, metavar="FRACTION",
+        help="uniform long-tail fraction of draws (default: 0.10)",
+    )
+    workload.add_argument(
+        "--top-k-fraction", type=float, default=0.65, metavar="FRACTION",
+        help="fraction of events that are top_k queries (default: 0.65)",
+    )
+    workload.add_argument(
+        "--source-fraction", type=float, default=0.15, metavar="FRACTION",
+        help="fraction of events that are single_source queries "
+        "(default: 0.15); the remainder is single_pair traffic",
+    )
+    workload.add_argument(
+        "--pair-mode", choices=["hot", "cold"], default="hot",
+        help="'hot' pairs target popular sources (cross-kind admission "
+        "pressure); 'cold' pairs stay outside the source region so their "
+        "answers never depend on cache state (default: hot)",
+    )
+    workload.add_argument(
+        "--source-span", type=_positive_int, default=None, metavar="N",
+        help="cap the per-dataset source region at N nodes (default: uncapped)",
+    )
+    workload.add_argument(
+        "--k", type=_positive_int, default=10,
+        help="k for generated top_k queries (default: 10)",
+    )
+    workload.add_argument(
+        "--output", default="-", metavar="FILE",
+        help="where to write the JSONL stream; '-' writes stdout (default)",
+    )
+
     router = subparsers.add_parser(
         "router",
         help="multi-process sharded serving: spawn N 'repro serve' workers "
@@ -422,12 +526,21 @@ def _service(args: argparse.Namespace) -> SimRankService:
         if args.memory_budget_mb is not None
         else None
     )
+    # --pair-admit-after: unset keeps the engine default, 0 means "never".
+    if args.pair_admit_after is None:
+        admit: int | None = PAIR_AMORTIZE_THRESHOLD
+    elif args.pair_admit_after == 0:
+        admit = None
+    else:
+        admit = args.pair_admit_after
     return SimRankService(
         ServiceConfig(
             backend=args.backend,
             memory_budget_bytes=budget,
             cache_size=args.cache_size,
             cache_budget_vectors=args.cache_budget,
+            cache_ttl_seconds=args.cache_ttl,
+            pair_admission_threshold=admit,
             index_dir=args.index_dir,
             scale=args.scale,
             seed=args.seed,
@@ -441,6 +554,11 @@ def _service(args: argparse.Namespace) -> SimRankService:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    # workload has no accuracy options — it never computes a score.
+    if args.command == "workload":
+        return _run_workload(args)
+
     config = _config(args)
 
     if args.command == "table3":
@@ -1046,6 +1164,73 @@ def _run_serve_socket(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workload(args: argparse.Namespace) -> int:
+    """The ``workload`` sub-command: a wire-ready JSONL request stream.
+
+    Emits one protocol-v2 envelope per line — pipe it straight into
+    ``repro batch``, ``repro serve``, or a router front end.  The stream is
+    fully determined by the options (one seeded RNG drives every choice),
+    so two runs with the same flags produce byte-identical output; a shape
+    summary goes to stderr.  Node ranges come from the dataset specs at
+    ``--scale``, matching what service commands at the same scale serve.
+    """
+    node_counts = {
+        name: max(16, int(datasets.DATASETS[name].standin_nodes * args.scale))
+        for name in args.datasets
+    }
+    try:
+        pattern = TrafficPattern(
+            num_queries=args.queries,
+            seed=args.seed,
+            zipf_exponent=args.zipf,
+            hot_set_size=args.hot_size,
+            drift_every=args.drift_every,
+            drift_step=args.drift_step,
+            burst_every=args.burst_every,
+            burst_length=args.burst_length,
+            tail_fraction=args.tail,
+            top_k_fraction=args.top_k_fraction,
+            single_source_fraction=args.source_fraction,
+            k=args.k,
+            source_span=args.source_span,
+            pair_mode=args.pair_mode,
+        )
+        events = generate_traffic(node_counts, pattern)
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        output_stream = (
+            sys.stdout
+            if args.output == "-"
+            else open(args.output, "w", encoding="utf-8")
+        )
+    except OSError as exc:
+        print(
+            f"error: cannot write --output {args.output!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        for event in events:
+            print(
+                json.dumps(event.to_wire(), separators=(",", ":")),
+                file=output_stream,
+            )
+        output_stream.flush()
+    except BrokenPipeError:
+        _detach_stdout_after_broken_pipe()
+        print("workload: output stream closed early", file=sys.stderr)
+        return 1
+    finally:
+        if output_stream is not sys.stdout:
+            output_stream.close()
+    print(
+        f"workload: {json.dumps(summarize_events(events))}", file=sys.stderr
+    )
+    return 0
+
+
 def _run_router(args: argparse.Namespace) -> int:
     """The ``router`` sub-command: multi-process sharded serving.
 
@@ -1070,6 +1255,10 @@ def _run_router(args: argparse.Namespace) -> int:
         serve_args += ["--memory-budget-mb", str(args.memory_budget_mb)]
     if args.cache_budget is not None:
         serve_args += ["--cache-budget", str(args.cache_budget)]
+    if args.cache_ttl is not None:
+        serve_args += ["--cache-ttl", str(args.cache_ttl)]
+    if args.pair_admit_after is not None:
+        serve_args += ["--pair-admit-after", str(args.pair_admit_after)]
     if args.index_dir is not None:
         serve_args += ["--index-dir", args.index_dir]
     if args.chunk_size is not None:

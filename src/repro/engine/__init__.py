@@ -47,11 +47,16 @@ from .backends import (
     resolve_backend_name,
 )
 from .engine import (
+    ENGINE_TOTAL_COUNTERS,
+    PAIR_AMORTIZE_THRESHOLD,
     EngineStatistics,
     QueryEngine,
     QueryRecord,
+    hit_rate_by_kind,
     latency_percentiles_by_kind,
+    latency_percentiles_by_outcome,
     latency_quantiles,
+    merge_statistics_totals,
 )
 from .planner import QueryPlan, create_engine, estimate_sling_index_bytes, plan_backend
 
@@ -74,8 +79,13 @@ __all__ = [
     "QueryEngine",
     "EngineStatistics",
     "QueryRecord",
+    "ENGINE_TOTAL_COUNTERS",
+    "PAIR_AMORTIZE_THRESHOLD",
     "latency_quantiles",
     "latency_percentiles_by_kind",
+    "latency_percentiles_by_outcome",
+    "hit_rate_by_kind",
+    "merge_statistics_totals",
     "QueryPlan",
     "plan_backend",
     "create_engine",

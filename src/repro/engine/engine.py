@@ -16,7 +16,13 @@ things no individual backend provides:
 
 Derived queries route through the cache: ``top_k`` ranks a cached
 single-source vector, and a ``single_pair`` whose source vector is already
-cached is answered from it without touching the backend.
+cached is answered from it without touching the backend.  The cache is
+shared *across* query kinds with explicit cross-kind admission — a source
+probed by enough standalone pair queries (``pair_admission_threshold``)
+gets its vector computed and admitted so subsequent traffic of every kind
+hits — and an optional TTL (``cache_ttl_seconds``) bounds staleness.
+:func:`merge_statistics_totals` is the single definition of aggregated
+cache/latency statistics used by the service layer and the router alike.
 
 Thread safety
 -------------
@@ -61,13 +67,25 @@ __all__ = [
     "EngineStatistics",
     "QueryRecord",
     "LATENCY_QUANTILES",
+    "ENGINE_TOTAL_COUNTERS",
+    "PAIR_AMORTIZE_THRESHOLD",
     "latency_quantiles",
     "latency_percentiles_by_kind",
+    "latency_percentiles_by_outcome",
+    "hit_rate_by_kind",
+    "merge_statistics_totals",
 ]
 
 #: In a batch of pair queries, compute one single-source vector instead of
-#: repeated pair queries once a source occurs at least this many times.
+#: repeated pair queries once a source occurs at least this many times.  The
+#: same threshold is the default for cross-kind admission: a source probed
+#: this many times by *standalone* pair queries gets its vector admitted to
+#: the shared single-source cache (see :class:`QueryEngine`).
 PAIR_AMORTIZE_THRESHOLD = 4
+
+#: Bound on the table tracking standalone-pair probe misses per source
+#: (admission pressure); oldest entries are dropped beyond this.
+_PAIR_COUNT_LIMIT = 4096
 
 #: How many per-query latency records to retain (aggregates are unbounded).
 MAX_QUERY_RECORDS = 1024
@@ -116,6 +134,99 @@ def latency_percentiles_by_kind(
     }
 
 
+def latency_percentiles_by_outcome(
+    records: Iterable[tuple[bool, float]],
+) -> dict[str, dict]:
+    """Split ``(cache_hit, seconds)`` samples into hit / miss populations and
+    summarise each with :func:`latency_quantiles` — the two latency worlds a
+    cache operator compares (a hit reads an array; a miss pays the backend)."""
+    hit: list[float] = []
+    miss: list[float] = []
+    for cache_hit, seconds in records:
+        (hit if cache_hit else miss).append(seconds)
+    return {"hit": latency_quantiles(hit), "miss": latency_quantiles(miss)}
+
+
+def hit_rate_by_kind(
+    hits_by_kind: dict[str, int], misses_by_kind: dict[str, int]
+) -> dict[str, float]:
+    """Per-kind cache hit rate: the fraction of queries of each kind that
+    were answered from the cache.  A kind's "miss" here is any query not
+    served from cache — including pair read-throughs that never consult it —
+    so the rate answers "how much of this kind's traffic did the cache
+    absorb", not "how often did a lookup succeed"."""
+    rates: dict[str, float] = {}
+    for kind in sorted(set(hits_by_kind) | set(misses_by_kind)):
+        hits = hits_by_kind.get(kind, 0)
+        total = hits + misses_by_kind.get(kind, 0)
+        rates[kind] = hits / total if total else 0.0
+    return rates
+
+
+#: The additive counters summed by :func:`merge_statistics_totals`; shared by
+#: the service's ``stats`` totals and the router's fan-out merge, and pinned
+#: by tests asserting totals == sum(engines).
+ENGINE_TOTAL_COUNTERS = (
+    "total_queries",
+    "single_pair_queries",
+    "single_source_queries",
+    "top_k_queries",
+    "batch_calls",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_admissions",
+    "cache_expirations",
+    "pair_probe_hits",
+    "pair_probe_misses",
+    "pair_admissions",
+)
+
+
+def merge_statistics_totals(engine_dicts: Iterable[dict]) -> dict:
+    """Roll per-engine statistics dicts (:meth:`EngineStatistics.as_dict`
+    form, or the same shape off the wire) into one totals dict.
+
+    This is *the* definition of service-wide totals: counters are summed,
+    per-kind hit/miss tallies merge by key, the overall and per-kind hit
+    rates are recomputed from the summed counters (rates cannot be summed),
+    and latency percentiles are recomputed from the merged recent-query
+    samples with the same nearest-rank definition the per-engine dicts use.
+    Both :meth:`SimRankService.statistics` and the router's ``stats``
+    fan-out merge call this one function, so an engine, a single server, and
+    a sharded pool can never disagree about what a hit rate or a p99 means.
+    Missing keys count as zero, so dicts recorded by older servers merge
+    cleanly.
+    """
+    totals: dict = dict.fromkeys(ENGINE_TOTAL_COUNTERS, 0)
+    totals["total_seconds"] = 0.0
+    hits: dict[str, int] = {}
+    misses: dict[str, int] = {}
+    samples: list[tuple[str, float]] = []
+    outcomes: list[tuple[bool, float]] = []
+    for stats in engine_dicts:
+        for key in ENGINE_TOTAL_COUNTERS:
+            totals[key] += int(stats.get(key, 0))
+        totals["total_seconds"] += float(stats.get("total_seconds", 0.0))
+        for kind, count in stats.get("hits_by_kind", {}).items():
+            hits[kind] = hits.get(kind, 0) + int(count)
+        for kind, count in stats.get("misses_by_kind", {}).items():
+            misses[kind] = misses.get(kind, 0) + int(count)
+        for record in stats.get("recent_queries", []):
+            samples.append((record["kind"], record["seconds"]))
+            outcomes.append((bool(record.get("cache_hit")), record["seconds"]))
+    lookups = totals["cache_hits"] + totals["cache_misses"]
+    totals["cache_hit_rate"] = totals["cache_hits"] / lookups if lookups else 0.0
+    totals["hits_by_kind"] = {kind: hits[kind] for kind in sorted(hits)}
+    totals["misses_by_kind"] = {kind: misses[kind] for kind in sorted(misses)}
+    totals["hit_rate_by_kind"] = hit_rate_by_kind(hits, misses)
+    totals["latency_percentiles"] = latency_percentiles_by_kind(samples)
+    totals["latency_percentiles_by_outcome"] = latency_percentiles_by_outcome(
+        outcomes
+    )
+    return totals
+
+
 @dataclass(frozen=True)
 class QueryRecord:
     """Latency and provenance of one executed query."""
@@ -147,6 +258,30 @@ class EngineStatistics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: Vectors stored into the LRU (misses that completed, plus cross-kind
+    #: pair admissions; concurrent misses on one source may store twice).
+    cache_admissions: int = 0
+    #: Cross-kind admissions: vectors computed because standalone pair
+    #: probes of their source crossed the admission threshold.
+    pair_admissions: int = 0
+    #: Entries dropped because they outlived ``cache_ttl_seconds``.
+    cache_expirations: int = 0
+    #: Standalone pair queries answered from a cached source vector.  These
+    #: also count into :attr:`cache_hits` — a pair served without touching
+    #: the backend is cacheable work the cache absorbed.
+    pair_probe_hits: int = 0
+    #: Standalone pair queries whose canonical source was not cached.  These
+    #: deliberately do NOT count into :attr:`cache_misses`: the scalar
+    #: read-through never asked the cache to do vector work, so counting it
+    #: as a miss would deflate :attr:`cache_hit_rate` on pair-heavy traffic
+    #: without the cache ever having a chance to serve it.
+    pair_probe_misses: int = 0
+    #: Per query kind: queries answered from the cache / not answered from
+    #: the cache.  ``misses_by_kind`` includes pair read-throughs, so the
+    #: per-kind rate reads "fraction of this kind's traffic the cache
+    #: absorbed" (see :func:`hit_rate_by_kind`).
+    hits_by_kind: dict = field(default_factory=dict)
+    misses_by_kind: dict = field(default_factory=dict)
     total_seconds: float = 0.0
     recent_queries: list[QueryRecord] = field(default_factory=list)
 
@@ -177,13 +312,31 @@ class EngineStatistics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "cache_admissions": self.cache_admissions,
+            "cache_expirations": self.cache_expirations,
+            "pair_probe_hits": self.pair_probe_hits,
+            "pair_probe_misses": self.pair_probe_misses,
+            "pair_admissions": self.pair_admissions,
             "cache_hit_rate": self.cache_hit_rate,
+            "hits_by_kind": {k: self.hits_by_kind[k] for k in sorted(self.hits_by_kind)},
+            "misses_by_kind": {
+                k: self.misses_by_kind[k] for k in sorted(self.misses_by_kind)
+            },
+            "hit_rate_by_kind": hit_rate_by_kind(
+                self.hits_by_kind, self.misses_by_kind
+            ),
             "total_seconds": self.total_seconds,
             # Computed over the bounded recent-query window (the last
             # MAX_QUERY_RECORDS queries), which is what a serving dashboard
             # wants: current tail behaviour, not lifetime averages.
             "latency_percentiles": latency_percentiles_by_kind(
                 (record.kind, record.seconds) for record in self.recent_queries
+            ),
+            # Hit vs miss tail latency over the same window — the spread a
+            # cache-sizing decision is trying to close.
+            "latency_percentiles_by_outcome": latency_percentiles_by_outcome(
+                (record.cache_hit, record.seconds)
+                for record in self.recent_queries
             ),
             # Bounded at MAX_QUERY_RECORDS; exposes per-query latencies to
             # ``repro query --json`` and the service envelopes.
@@ -200,7 +353,9 @@ class EngineStatistics:
             f"{self.top_k_queries} top-k); "
             f"cache hit rate {100.0 * self.cache_hit_rate:.1f}% "
             f"({self.cache_hits} hits, {self.cache_misses} misses, "
-            f"{self.cache_evictions} evictions)"
+            f"{self.cache_evictions} evictions, "
+            f"{self.pair_probe_hits}/{self.pair_probe_misses} pair probes, "
+            f"{self.pair_admissions} pair admissions)"
         )
 
     def _record(self, record: QueryRecord) -> None:
@@ -221,6 +376,24 @@ class QueryEngine:
         Maximum number of single-source score vectors kept in the LRU cache;
         ``0`` disables caching (the evaluation drivers use this so figure
         timings measure the backend, not the cache).
+    cache_ttl_seconds:
+        Expire cached vectors this many seconds after they were stored
+        (``None`` — the default — never expires).  A TTL bounds staleness
+        when an operator wants the cache re-validated under drifting
+        workloads; expirations are counted separately from evictions.
+    pair_admission_threshold:
+        Cross-kind admission: once this many *standalone* ``single_pair``
+        queries have probe-missed on the same canonical source, the next one
+        computes that source's full vector, admits it to the shared cache,
+        and answers from it — so a hot pair source starts serving ``top_k``
+        and ``single_source`` traffic too.  ``None`` disables admission.
+        Batched pair queries are excluded: ``single_pair_many`` has its own
+        per-batch amortization, and ``amortize=False`` promises one backend
+        call per pair.  Note the switch is observable in values within the
+        backend's self-consistency: an admitted source's pairs are read from
+        its vector rather than the scalar estimator (for SLING the two agree
+        only within the accuracy target), deterministically as a function of
+        the engine's query history.
 
     Examples
     --------
@@ -238,15 +411,33 @@ class QueryEngine:
         backend: SimilarityBackend,
         *,
         cache_size: int = 128,
+        cache_ttl_seconds: float | None = None,
+        pair_admission_threshold: int | None = PAIR_AMORTIZE_THRESHOLD,
         plan=None,
     ) -> None:
         if cache_size < 0:
             raise ParameterError(f"cache_size must be >= 0, got {cache_size}")
+        if cache_ttl_seconds is not None and not cache_ttl_seconds > 0:
+            raise ParameterError(
+                f"cache_ttl_seconds must be > 0 or None, got {cache_ttl_seconds}"
+            )
+        if pair_admission_threshold is not None and pair_admission_threshold < 1:
+            raise ParameterError(
+                "pair_admission_threshold must be >= 1 or None, got "
+                f"{pair_admission_threshold}"
+            )
         if not backend.is_built:
             backend.build()
         self._backend = backend
         self._cache_size = cache_size
-        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._cache_ttl = cache_ttl_seconds
+        self._pair_admission_threshold = pair_admission_threshold
+        #: node -> (vector, monotonic store time); the timestamp only
+        #: matters under a TTL but is cheap enough to always carry.
+        self._cache: OrderedDict[int, tuple[np.ndarray, float]] = OrderedDict()
+        #: Admission pressure: canonical source -> standalone pair probe
+        #: misses so far (bounded; reset when the source is admitted).
+        self._pair_counts: OrderedDict[int, int] = OrderedDict()
         self._stats = EngineStatistics(backend=backend.name)
         # Guards the cache and the statistics; never held across a backend
         # computation, so concurrent misses overlap.
@@ -273,6 +464,17 @@ class QueryEngine:
         return self._cache_size
 
     @property
+    def cache_ttl_seconds(self) -> float | None:
+        """Seconds a cached vector stays valid (``None`` = no expiry)."""
+        return self._cache_ttl
+
+    @property
+    def pair_admission_threshold(self) -> int | None:
+        """Standalone pair probe misses on one source before its vector is
+        admitted to the cache (``None`` = cross-kind admission disabled)."""
+        return self._pair_admission_threshold
+
+    @property
     def statistics(self) -> EngineStatistics:
         """Aggregate statistics since construction (or the last reset).
 
@@ -286,7 +488,10 @@ class QueryEngine:
         while other threads keep querying."""
         with self._lock:
             return replace(
-                self._stats, recent_queries=list(self._stats.recent_queries)
+                self._stats,
+                recent_queries=list(self._stats.recent_queries),
+                hits_by_kind=dict(self._stats.hits_by_kind),
+                misses_by_kind=dict(self._stats.misses_by_kind),
             )
 
     def describe(self) -> dict:
@@ -301,6 +506,8 @@ class QueryEngine:
             "backend_info": self._backend.info.as_dict(),
             "plan": self.plan.as_dict() if self.plan else None,
             "cache_size": self._cache_size,
+            "cache_ttl_seconds": self._cache_ttl,
+            "pair_admission_threshold": self._pair_admission_threshold,
             "cached_vectors": cached_vectors,
             "statistics": self.statistics_snapshot().as_dict(),
         }
@@ -321,9 +528,10 @@ class QueryEngine:
             self._stats = EngineStatistics(backend=self._backend.name)
 
     def clear_cache(self) -> None:
-        """Drop every cached single-source vector."""
+        """Drop every cached single-source vector (and admission pressure)."""
         with self._lock:
             self._cache.clear()
+            self._pair_counts.clear()
 
     def resize_cache(self, cache_size: int) -> None:
         """Change the LRU capacity in place, evicting oldest entries if the
@@ -357,13 +565,31 @@ class QueryEngine:
     # ------------------------------------------------------------------ #
     # Cache plumbing
     # ------------------------------------------------------------------ #
+    def _cache_get_locked(self, node: int) -> np.ndarray | None:
+        """The live cached vector for ``node`` or ``None``, enforcing the
+        TTL (an expired entry is dropped and counted) and refreshing LRU
+        order on a hit.  The caller must hold the lock and do its own
+        hit/miss accounting — probe semantics differ by query kind."""
+        entry = self._cache.get(node)
+        if entry is None:
+            return None
+        vector, stored_at = entry
+        if (
+            self._cache_ttl is not None
+            and time.monotonic() - stored_at > self._cache_ttl
+        ):
+            del self._cache[node]
+            self._stats.cache_expirations += 1
+            return None
+        self._cache.move_to_end(node)
+        return vector
+
     def _cache_lookup(self, node: int) -> np.ndarray | None:
         if self._cache_size == 0:
             return None
         with self._lock:
-            vector = self._cache.get(node)
+            vector = self._cache_get_locked(node)
             if vector is not None:
-                self._cache.move_to_end(node)
                 self._stats.cache_hits += 1
                 return vector
             self._stats.cache_misses += 1
@@ -373,8 +599,9 @@ class QueryEngine:
         if self._cache_size == 0:
             return
         with self._lock:
-            self._cache[node] = vector
+            self._cache[node] = (vector, time.monotonic())
             self._cache.move_to_end(node)
+            self._stats.cache_admissions += 1
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
                 self._stats.cache_evictions += 1
@@ -432,30 +659,77 @@ class QueryEngine:
         The pair is canonicalised (smaller node first — SimRank is
         symmetric), and only the canonical source's cached vector may answer
         it.  This makes the result a deterministic function of the unordered
-        pair and of *whether* that one vector is cached — never of which
-        endpoint happened to be cached first, which would let concurrent
-        execution order leak into query values (score matrices are not
-        bitwise symmetric, and SLING's single-source push and Algorithm 3
-        agree only within the accuracy target).  It also makes
-        ``single_pair(u, v)`` and ``single_pair(v, u)`` bitwise equal.
+        pair and of the engine's query history — never of which endpoint
+        happened to be cached first, which would let concurrent execution
+        order leak into query values (score matrices are not bitwise
+        symmetric, and SLING's single-source push and Algorithm 3 agree only
+        within the accuracy target).  It also makes ``single_pair(u, v)``
+        and ``single_pair(v, u)`` bitwise equal.
+
+        Accounting: a probe that finds the vector counts as a cache hit
+        (both ``cache_hits`` and ``pair_probe_hits``); a probe that finds
+        nothing counts **only** as ``pair_probe_misses`` — the scalar
+        read-through asked the backend, not the cache, for work, so it must
+        not deflate ``cache_hit_rate``.  The exception is the probe miss
+        that crosses ``pair_admission_threshold``: it commits the cache to
+        computing and admitting the source's vector, so it is a real
+        ``cache_miss`` (plus a ``pair_admission``) and the pair is answered
+        from the newly admitted vector.
         """
+        return self._single_pair_impl(node_u, node_v, allow_admission=True)
+
+    def _single_pair_impl(
+        self, node_u: int, node_v: int, *, allow_admission: bool
+    ) -> float:
         start = time.perf_counter()
         node_u, node_v = int(node_u), int(node_v)
         if node_v < node_u:
             node_u, node_v = node_v, node_u
         score: float | None = None
-        with self._lock:
-            cached = self._cache.get(node_u)
-            if cached is not None:
-                self._cache.move_to_end(node_u)
-                self._stats.cache_hits += 1
-                score = float(cached[node_v])
-            elif self._cache_size > 0:
-                self._stats.cache_misses += 1
+        hit = False
+        admit = False
+        if self._cache_size > 0:
+            with self._lock:
+                vector = self._cache_get_locked(node_u)
+                if vector is not None:
+                    self._stats.cache_hits += 1
+                    self._stats.pair_probe_hits += 1
+                    score = float(vector[node_v])
+                    hit = True
+                else:
+                    self._stats.pair_probe_misses += 1
+                    if allow_admission and self._note_pair_probe_miss(node_u):
+                        self._stats.cache_misses += 1
+                        self._stats.pair_admissions += 1
+                        admit = True
         if score is None:
-            score = self._backend_single_pair(node_u, node_v)
-        self._finish("single_pair", start, cache_hit=cached is not None)
+            if admit:
+                # Computed outside the lock like any other miss; the store
+                # is idempotent under concurrent admission of one source.
+                vector = self._backend_single_source(node_u)
+                self._cache_store(node_u, vector)
+                score = float(vector[node_v])
+            else:
+                score = self._backend_single_pair(node_u, node_v)
+        self._finish("single_pair", start, cache_hit=hit)
         return score
+
+    def _note_pair_probe_miss(self, node: int) -> bool:
+        """Record one standalone probe miss against ``node``; ``True`` when
+        it crossed the admission threshold (which resets the count).  The
+        caller must hold the lock."""
+        threshold = self._pair_admission_threshold
+        if threshold is None:
+            return False
+        count = self._pair_counts.get(node, 0) + 1
+        if count >= threshold:
+            self._pair_counts.pop(node, None)
+            return True
+        self._pair_counts[node] = count
+        self._pair_counts.move_to_end(node)
+        while len(self._pair_counts) > _PAIR_COUNT_LIMIT:
+            self._pair_counts.popitem(last=False)
+        return False
 
     def single_source(self, node: int) -> np.ndarray:
         """SimRank from ``node`` to every node; the result is caller-owned."""
@@ -525,7 +799,12 @@ class QueryEngine:
                 results.append(float(vector[node_v]))
                 self._finish("single_pair", start, cache_hit=hit)
             else:
-                results.append(self.single_pair(node_u, node_v))
+                # Batch members never build cross-kind admission pressure:
+                # the batch has its own amortization above, and
+                # ``amortize=False`` promises one backend call per pair.
+                results.append(
+                    self._single_pair_impl(node_u, node_v, allow_admission=False)
+                )
         return results
 
     def single_source_many(
@@ -583,6 +862,12 @@ class QueryEngine:
                 self._stats.single_source_queries += 1
             else:
                 self._stats.top_k_queries += 1
+            tally = (
+                self._stats.hits_by_kind
+                if cache_hit
+                else self._stats.misses_by_kind
+            )
+            tally[kind] = tally.get(kind, 0) + 1
             self._stats._record(record)
         self._tls.last_record = record
 

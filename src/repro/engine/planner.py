@@ -30,7 +30,7 @@ from .backends import (
     create_backend,
     resolve_backend_name,
 )
-from .engine import QueryEngine
+from .engine import PAIR_AMORTIZE_THRESHOLD, QueryEngine
 
 __all__ = [
     "QueryPlan",
@@ -197,11 +197,15 @@ def create_engine(
     memory_budget_bytes: int | None = None,
     config: BackendConfig | None = None,
     cache_size: int = 128,
+    cache_ttl_seconds: float | None = None,
+    pair_admission_threshold: int | None = PAIR_AMORTIZE_THRESHOLD,
     allow_index_build: bool = True,
 ) -> QueryEngine:
     """Plan, build, and wrap a backend in a ready-to-query engine.
 
-    The chosen :class:`QueryPlan` is attached to the engine as ``engine.plan``.
+    The chosen :class:`QueryPlan` is attached to the engine as ``engine.plan``;
+    ``cache_size`` / ``cache_ttl_seconds`` / ``pair_admission_threshold`` are
+    forwarded to the engine's cache policy unchanged.
     """
     plan = plan_backend(
         graph,
@@ -211,4 +215,10 @@ def create_engine(
         allow_index_build=allow_index_build,
     )
     built = create_backend(plan.backend, graph, config)
-    return QueryEngine(built, cache_size=cache_size, plan=plan)
+    return QueryEngine(
+        built,
+        cache_size=cache_size,
+        cache_ttl_seconds=cache_ttl_seconds,
+        pair_admission_threshold=pair_admission_threshold,
+        plan=plan,
+    )

@@ -10,6 +10,15 @@ from .metrics import (
     top_k_precision,
 )
 from .timing import Timer, TimingResult, time_callable
+from .traffic import (
+    TrafficEvent,
+    TrafficPattern,
+    events_to_jsonl,
+    generate_traffic,
+    replay_events,
+    summarize_events,
+    traffic_sources,
+)
 from .workloads import random_pairs, random_sources
 from . import ablations, experiments, reporting
 
@@ -27,6 +36,13 @@ __all__ = [
     "time_callable",
     "random_pairs",
     "random_sources",
+    "TrafficPattern",
+    "TrafficEvent",
+    "generate_traffic",
+    "events_to_jsonl",
+    "summarize_events",
+    "traffic_sources",
+    "replay_events",
     "ablations",
     "experiments",
     "reporting",

@@ -45,7 +45,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Sequence
 
-from ...engine import latency_percentiles_by_kind
+from ...engine import merge_statistics_totals
 from ...exceptions import ParameterError
 from ..results import ERROR_BAD_REQUEST, ERROR_UNAVAILABLE, QueryResult
 from ..wire import decode_envelope_line, encode_frame, response_frames
@@ -837,29 +837,23 @@ class _ClientSession:
 
     def _merge_stats(self, values: list[dict]) -> dict:
         """One ``stats`` value from many: per-dataset entries are disjoint
-        across workers (sharding) so they merge by union; totals are summed;
-        latency percentiles are recomputed from the merged samples — the
-        same definition a single server uses."""
+        across workers (sharding) so they merge by union; totals come from
+        :func:`merge_statistics_totals` — the same definition a single
+        server uses, so fan-out cannot under-report any counter."""
         per_dataset: dict[str, dict] = {}
         for value in values:
             per_dataset.update(value.get("datasets", {}))
         ordered = self._merge_dataset_lists([list(per_dataset)])
         datasets = {name: per_dataset[name] for name in ordered}
-        totals = {"total_queries": 0, "cache_hits": 0, "cache_misses": 0,
-                  "total_seconds": 0.0}
-        samples: list[tuple[str, float]] = []
-        for detail in datasets.values():
-            for engine_stats in detail.get("engines", {}).values():
-                totals["total_queries"] += engine_stats["total_queries"]
-                totals["cache_hits"] += engine_stats["cache_hits"]
-                totals["cache_misses"] += engine_stats["cache_misses"]
-                totals["total_seconds"] += engine_stats["total_seconds"]
-                samples.extend(
-                    (record["kind"], record["seconds"])
-                    for record in engine_stats.get("recent_queries", [])
-                )
-        totals["latency_percentiles"] = latency_percentiles_by_kind(samples)
-        return {"datasets": datasets, "totals": totals}
+        engine_dicts = [
+            engine_stats
+            for detail in datasets.values()
+            for engine_stats in detail.get("engines", {}).values()
+        ]
+        return {
+            "datasets": datasets,
+            "totals": merge_statistics_totals(engine_dicts),
+        }
 
     def _describe_service(self, line: str, payload: dict) -> bool:
         terminal = self._forward_collect_one(0, line, payload)

@@ -35,11 +35,12 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from ..engine import (
+    PAIR_AMORTIZE_THRESHOLD,
     BackendConfig,
     QueryEngine,
     backend_names,
     create_engine,
-    latency_percentiles_by_kind,
+    merge_statistics_totals,
     resolve_backend_name,
 )
 from ..exceptions import ParameterError, ReproError
@@ -57,6 +58,10 @@ from .results import (
 from .wire import PROTOCOL_VERSION, decode_envelope
 
 __all__ = ["ServiceConfig", "DatasetSession", "SimRankService"]
+
+#: Bound on the canonical-name memo (raw client spelling -> session key);
+#: cleared wholesale when full, so hostile name churn cannot grow it.
+_CANONICAL_MEMO_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -89,6 +94,13 @@ class ServiceConfig:
     seed: int = 0
     #: When ``False`` the planner must route to an index-free baseline.
     allow_index_build: bool = True
+    #: Time-to-live for cached single-source vectors, in seconds; ``None``
+    #: means entries never expire (forwarded to every engine).
+    cache_ttl_seconds: float | None = None
+    #: Standalone single-pair probes on one source before that source's
+    #: vector is admitted to the cache; ``None`` disables cross-kind
+    #: admission (forwarded to every engine).
+    pair_admission_threshold: int | None = PAIR_AMORTIZE_THRESHOLD
     #: Accuracy / seed knobs forwarded to backend construction.
     backend_config: BackendConfig = field(default_factory=BackendConfig)
 
@@ -182,6 +194,10 @@ class DatasetSession:
                             reuse_saved_index=True,
                         ),
                         cache_size=self._cache_capacity,
+                        cache_ttl_seconds=self._config.cache_ttl_seconds,
+                        pair_admission_threshold=(
+                            self._config.pair_admission_threshold
+                        ),
                         allow_index_build=True,
                     )
                 else:
@@ -191,6 +207,10 @@ class DatasetSession:
                         memory_budget_bytes=self._config.memory_budget_bytes,
                         config=self._config.backend_config,
                         cache_size=self._cache_capacity,
+                        cache_ttl_seconds=self._config.cache_ttl_seconds,
+                        pair_admission_threshold=(
+                            self._config.pair_admission_threshold
+                        ),
                         allow_index_build=self._config.allow_index_build,
                     )
                 self._engines[key] = engine
@@ -279,6 +299,10 @@ class SimRankService:
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self._config = config or ServiceConfig()
         self._sessions: OrderedDict[str, DatasetSession] = OrderedDict()
+        #: Raw client spelling -> resolved session key.  Keeps case-variant
+        #: traffic ("grqc" for "GrQc") on the lock-free execute fast path
+        #: instead of paying the RLock + registry scan on every query.
+        self._canonical_memo: dict[str, str] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
@@ -291,15 +315,40 @@ class SimRankService:
 
     def _canonical(self, name: str) -> str:
         """Resolve ``name`` case-insensitively against open sessions, then
-        the dataset registry; unknown names pass through unchanged."""
+        the dataset registry; unknown names pass through unchanged.
+
+        Successful resolutions are memoized so repeat spellings skip the
+        scans; pass-throughs are *not* — an unknown name must keep resolving
+        freshly in case a session is later opened under a matching key.
+        """
+        memoized = self._canonical_memo.get(name)
+        if memoized is not None:
+            return memoized
         lowered = name.lower()
         for key in self._sessions:
             if key.lower() == lowered:
+                self._memoize(name, key)
                 return key
         for key in datasets.dataset_names():
             if key.lower() == lowered:
+                self._memoize(name, key)
                 return key
         return name
+
+    def _memoize(self, name: str, key: str) -> None:
+        if len(self._canonical_memo) >= _CANONICAL_MEMO_LIMIT:
+            self._canonical_memo.clear()
+        self._canonical_memo[name] = key
+
+    def _drop_memo_for(self, key: str) -> None:
+        """Forget memo entries resolving to ``key`` — called when its session
+        closes, so a stale spelling cannot shadow a later re-registration."""
+        stale = [
+            raw for raw, resolved in self._canonical_memo.items()
+            if resolved == key
+        ]
+        for raw in stale:
+            del self._canonical_memo[raw]
 
     def open_dataset(
         self, name: str, *, graph: DiGraph | None = None
@@ -335,8 +384,10 @@ class SimRankService:
     def close_dataset(self, name: str) -> bool:
         """Drop the session (graph, engines, caches); ``False`` if not open."""
         with self._lock:
-            closed = self._sessions.pop(self._canonical(name), None) is not None
+            key = self._canonical(name)
+            closed = self._sessions.pop(key, None) is not None
             if closed:
+                self._drop_memo_for(key)
                 self._apply_cache_budget()
             return closed
 
@@ -353,7 +404,12 @@ class SimRankService:
         if budget is None:
             return
         count = len(self._sessions)
-        share = max(1, budget // count) if count else budget
+        if budget <= 0:
+            # A zero budget is the documented "caching disabled" setting; it
+            # must not round up to one vector per session.
+            share = 0
+        else:
+            share = max(1, budget // count) if count else budget
         for session in self._sessions.values():
             session.set_cache_capacity(share)
 
@@ -361,6 +417,7 @@ class SimRankService:
         """Drop every session."""
         with self._lock:
             self._sessions.clear()
+            self._canonical_memo.clear()
 
     def list_datasets(self) -> list[str]:
         """Names of the open sessions, in opening order."""
@@ -376,25 +433,16 @@ class SimRankService:
         with self._lock:
             sessions = list(self._sessions.items())
         per_dataset = {}
-        totals = {"total_queries": 0, "cache_hits": 0, "cache_misses": 0,
-                  "total_seconds": 0.0}
-        samples: list[tuple[str, float]] = []
+        engine_dicts: list[dict] = []
         for name, session in sessions:
             detail = session.statistics()
             per_dataset[name] = detail
-            for engine_stats in detail["engines"].values():
-                totals["total_queries"] += engine_stats["total_queries"]
-                totals["cache_hits"] += engine_stats["cache_hits"]
-                totals["cache_misses"] += engine_stats["cache_misses"]
-                totals["total_seconds"] += engine_stats["total_seconds"]
-                samples.extend(
-                    (record["kind"], record["seconds"])
-                    for record in engine_stats["recent_queries"]
-                )
-        # Service-wide tail latency, recomputed from every engine's bounded
-        # recent-query window with the same nearest-rank definition the
-        # per-engine dicts use (quantiles cannot be summed).
-        totals["latency_percentiles"] = latency_percentiles_by_kind(samples)
+            engine_dicts.extend(detail["engines"].values())
+        # One definition of "service-wide totals", shared with the router's
+        # fan-out merge: every engine counter summed, hit rates and latency
+        # percentiles recomputed from the merged windows (quantiles cannot
+        # be summed).
+        totals = merge_statistics_totals(engine_dicts)
         return {"datasets": per_dataset, "totals": totals}
 
     # ------------------------------------------------------------------ #
@@ -411,8 +459,15 @@ class SimRankService:
         kind, dataset = query.kind, query.dataset
 
         # Steady-state fast path: the session exists and its engine is memoized,
-        # so reaching the engine costs two dict lookups.
+        # so reaching the engine costs two dict lookups.  Case-variant
+        # spellings take one more through the canonical memo — still
+        # lock-free — instead of falling into open_dataset's RLock and
+        # registry scan on every query.
         session = self._sessions.get(dataset)
+        if session is None:
+            key = self._canonical_memo.get(dataset)
+            if key is not None:
+                session = self._sessions.get(key)
         if session is None:
             try:
                 session = self.open_dataset(dataset)
@@ -563,6 +618,10 @@ class SimRankService:
                     "memory_budget_bytes": self._config.memory_budget_bytes,
                     "cache_size": self._config.cache_size,
                     "cache_budget_vectors": self._config.cache_budget_vectors,
+                    "cache_ttl_seconds": self._config.cache_ttl_seconds,
+                    "pair_admission_threshold": (
+                        self._config.pair_admission_threshold
+                    ),
                     "index_dir": self._config.index_dir,
                     "scale": self._config.scale,
                     "seed": self._config.seed,

@@ -58,6 +58,17 @@ class TestExampleScripts:
         assert result.returncode == 0, result.stderr
         assert "SimRank (SLING):" in result.stdout
 
+    def test_traffic_replay(self):
+        result = run_example(
+            "traffic_replay.py",
+            "--queries", "200",
+            "--communities", "3",
+            "--community-size", "8",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "traffic replay complete" in result.stdout
+        assert "cache_size=64" in result.stdout
+
     def test_accuracy_study(self):
         result = run_example(
             "accuracy_study.py", "--dataset", "GrQc", "--scale", "0.08", "--epsilon", "0.05"

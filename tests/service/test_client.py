@@ -34,7 +34,13 @@ SCALE, EPSILON, SEED, MC_WALKS = 0.05, 0.1, 0, 30
 
 #: Timing keys normalised away before parity comparison; everything else
 #: must match exactly.
-TIMING_KEYS = {"seconds", "total_seconds", "recent_queries", "latency_percentiles"}
+TIMING_KEYS = {
+    "seconds",
+    "total_seconds",
+    "recent_queries",
+    "latency_percentiles",
+    "latency_percentiles_by_outcome",
+}
 
 
 def make_client(transport: str) -> SimRankClient:

@@ -18,6 +18,7 @@ import time
 import pytest
 import test_client
 
+from repro.engine import ENGINE_TOTAL_COUNTERS
 from repro.service import (
     Address,
     HashRing,
@@ -117,6 +118,15 @@ class TestRouterParity:
             assert stats["totals"]["total_queries"] == 2
             percentiles = stats["totals"]["latency_percentiles"]
             assert percentiles["single_pair"]["count"] == 2
+            # The fan-out merge must account for *every* engine counter —
+            # the totals used to drop cache_evictions and batch_calls.
+            for counter in ENGINE_TOTAL_COUNTERS:
+                summed = sum(
+                    engine_stats[counter]
+                    for detail in stats["datasets"].values()
+                    for engine_stats in detail["engines"].values()
+                )
+                assert stats["totals"][counter] == summed, counter
             assert client.describe()["datasets"] == ["GrQc", "AS"]
             client.close_dataset("AS")
             assert client.list_datasets() == ["GrQc"]

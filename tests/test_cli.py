@@ -142,3 +142,51 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "MC-sqrtc" in capsys.readouterr().out
+
+
+class TestWorkload:
+    ARGS = ["workload", "--queries", "60", "--seed", "9", "--datasets", "GrQc"]
+
+    def test_emits_wire_ready_jsonl_and_stderr_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert len(lines) == 60
+        for index, line in enumerate(lines):
+            payload = json.loads(line)
+            assert payload["id"] == index
+            assert payload["dataset"] == "GrQc"
+            assert payload["kind"] in ("single_pair", "single_source", "top_k")
+        # The stream goes to stdout; the shape summary must not pollute it.
+        assert captured.err.startswith("workload: ")
+        summary = json.loads(captured.err.removeprefix("workload: "))
+        assert summary["num_queries"] == 60
+
+    def test_same_flags_are_byte_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == first
+        assert main(["workload", "--queries", "60", "--seed", "10"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "stream.jsonl"
+        assert main([*self.ARGS, "--output", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""  # everything went to the file
+        assert len(target.read_text().splitlines()) == 60
+
+    def test_invalid_pattern_knobs_exit_2(self, capsys):
+        code = main(
+            ["workload", "--top-k-fraction", "0.9", "--source-fraction", "0.5"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_workload_needs_no_accuracy_options(self):
+        # The parser must not require epsilon/mc-walks for workload — the
+        # command never computes a score (regression for the dispatch
+        # ordering in main()).
+        args = build_parser().parse_args(["workload"])
+        assert not hasattr(args, "epsilon")
