@@ -30,6 +30,7 @@ import sys
 from pathlib import Path
 
 import bench_cache_traffic
+import bench_dynamic
 import bench_packed_query
 import bench_serving
 import bench_single_source
@@ -160,6 +161,34 @@ RECORDED_BENCHMARKS = {
             "router_identical_values",
             "hit_rate_ok",
             "p99_ok",
+        ),
+    },
+    "dynamic": {
+        "run": lambda smoke: bench_dynamic.run_benchmark(
+            **(bench_dynamic.SMOKE_OVERRIDES if smoke else {})
+        ),
+        "required_keys": (
+            "benchmark",
+            "dataset",
+            "num_nodes",
+            "num_edges",
+            "cells",
+            "speedups",
+            "targets",
+            "meets_targets",
+            "guards",
+            "eps_stale_ok",
+            "rebuild_parity_ok",
+            "version_echo_ok",
+        ),
+        "required_cells": ("incremental_update", "mutation_storm"),
+        # The two cells measure different things (repair latency vs storm
+        # throughput), so only the shared wall-clock field is schema-checked.
+        "cell_fields": ("seconds",),
+        "required_true": (
+            "eps_stale_ok",
+            "rebuild_parity_ok",
+            "version_echo_ok",
         ),
     },
 }

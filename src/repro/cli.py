@@ -35,7 +35,7 @@ Both JSONL commands speak **wire protocol v2** (see the README reference):
 requests may wrap the v1 body with ``v``/``id``/``chunk_size`` envelope
 keys, responses echo the ``id``, control-plane kinds (``ping``,
 ``open_dataset``, ``close_dataset``, ``list_datasets``, ``stats``,
-``describe``, ``shutdown``) ride alongside queries, the serve loop opens
+``describe``, ``mutate``, ``shutdown``) ride alongside queries, the serve loop opens
 with a ``hello`` frame, and chunked results stream as ``partial``/``done``
 frames.  Bare v1 query lines keep working unchanged.  ``--backend``
 selects any registered backend (or ``auto`` to let the planner route from
@@ -67,6 +67,7 @@ from .evaluation.traffic import (
 from .exceptions import ParameterError
 from .graphs import datasets
 from .service import (
+    MutateRequest,
     ParallelExecutor,
     QueryResult,
     RequestEnvelope,
@@ -432,8 +433,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="k for generated top_k queries (default: 10)",
     )
     workload.add_argument(
+        "--mutations", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of events that are 'mutate' control requests "
+        "(default: 0.0 — pure read stream, byte-identical to pre-mutation "
+        "streams at the same seed)",
+    )
+    workload.add_argument(
+        "--mutation-batch", type=_positive_int, default=1, metavar="N",
+        help="edges per mutation event (default: 1)",
+    )
+    workload.add_argument(
+        "--refreeze-every", type=_nonnegative_int, default=0, metavar="N",
+        help="every Nth mutation event also requests a re-freeze "
+        "(default: 0 — never mid-stream)",
+    )
+    workload.add_argument(
         "--output", default="-", metavar="FILE",
         help="where to write the JSONL stream; '-' writes stdout (default)",
+    )
+
+    mutate = subparsers.add_parser(
+        "mutate",
+        help="apply an edge delta to a dataset's live index (incremental "
+        "repair + version-scoped cache invalidation; optional re-freeze)",
+    )
+    _add_common_options(mutate)
+    _add_service_options(mutate)
+    mutate.add_argument(
+        "--dataset", default="GrQc", choices=datasets.dataset_names(),
+        help="dataset session to mutate (default: GrQc)",
+    )
+    mutate.add_argument(
+        "--add", action="append", default=[], metavar="U,V",
+        help="directed edge to add, as 'u,v' (repeatable)",
+    )
+    mutate.add_argument(
+        "--remove", action="append", default=[], metavar="U,V",
+        help="directed edge to remove, as 'u,v' (repeatable)",
+    )
+    mutate.add_argument(
+        "--refreeze", action="store_true",
+        help="compact all outstanding deltas into a fresh frozen store "
+        "after applying the delta (restores bitwise rebuild parity)",
     )
 
     router = subparsers.add_parser(
@@ -632,6 +673,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "query":
         return _run_query(args)
+
+    if args.command == "mutate":
+        return _run_mutate(args)
 
     if args.command == "batch":
         return _run_batch(args)
@@ -885,6 +929,43 @@ def _run_query(args: argparse.Namespace) -> int:
             f"score {entry['score']:.6f}"
         )
     print(f"engine: {statistics.summary()}")
+    return 0
+
+
+def _parse_edge(text: str) -> tuple[int, int]:
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise ParameterError(f"edge must be 'u,v', got {text!r}")
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ParameterError(f"edge endpoints must be integers, got {text!r}")
+
+
+def _run_mutate(args: argparse.Namespace) -> int:
+    """The ``mutate`` sub-command: one edge delta through the control plane.
+
+    Prints the mutation ack as JSON — the new ``index_version``, the
+    certified ``epsilon_stale``, and the affected/invalidated set sizes —
+    so scripts can chain ``repro mutate`` with queries and assert versions.
+    """
+    service = _service(args)
+    try:
+        add = [_parse_edge(text) for text in args.add]
+        remove = [_parse_edge(text) for text in args.remove]
+        request = MutateRequest(
+            dataset=args.dataset,
+            add=tuple(add),
+            remove=tuple(remove),
+            refreeze=args.refreeze,
+        )
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = service.execute_control(request)
+    if not result.ok:
+        return _fail_loudly(result)
+    print(json.dumps(result.value, indent=2))
     return 0
 
 
@@ -1194,6 +1275,9 @@ def _run_workload(args: argparse.Namespace) -> int:
             k=args.k,
             source_span=args.source_span,
             pair_mode=args.pair_mode,
+            mutation_fraction=args.mutations,
+            mutation_batch=args.mutation_batch,
+            mutation_refreeze_every=args.refreeze_every,
         )
         events = generate_traffic(node_counts, pattern)
     except ParameterError as exc:

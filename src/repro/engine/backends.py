@@ -34,7 +34,14 @@ from ..baselines import (
 from ..exceptions import IndexNotBuiltError, ParameterError
 from ..graphs import DiGraph
 from ..ranking import rank_top_k
-from ..sling import DiskBackedIndex, SlingIndex, has_saved_index, save_index
+from ..sling import (
+    DiskBackedIndex,
+    DynamicSlingIndex,
+    MutationReport,
+    SlingIndex,
+    has_saved_index,
+    save_index,
+)
 
 __all__ = [
     "BackendConfig",
@@ -185,6 +192,40 @@ class SimilarityBackend(abc.ABC):
     @abc.abstractmethod
     def index_size_bytes(self) -> int:
         """Size of the preprocessed structures, in bytes."""
+
+    # ------------------------------------------------------------------ #
+    # Mutation protocol (opt-in; only the in-memory SLING adapter today)
+    # ------------------------------------------------------------------ #
+    #: Whether :meth:`apply_mutation` is supported; static backends answer
+    #: queries forever against the graph they were built on.
+    supports_mutation: bool = False
+
+    def apply_mutation(self, added=(), removed=()) -> "MutationReport":
+        """Apply an edge delta in place (added/removed ``(u, v)`` lists).
+
+        Mutation-capable backends override this; the default refuses so the
+        service layer can surface a clean error instead of silently serving
+        a stale index.
+        """
+        raise ParameterError(
+            f"backend {self.info.name!r} does not support graph mutation"
+        )
+
+    def refreeze(self) -> bool:
+        """Compact accumulated mutation deltas back to a frozen index.
+
+        A no-op (``True``) for static backends: they have no deltas.
+        """
+        return True
+
+    @property
+    def index_version(self) -> int:
+        """Monotonic mutation version (0 for a never-mutated backend)."""
+        return 0
+
+    def staleness_bound(self) -> float:
+        """Certified additional error ε_stale of answers served right now."""
+        return 0.0
 
     # ------------------------------------------------------------------ #
     def top_k(self, node: int, k: int) -> list[tuple[int, float]]:
@@ -344,6 +385,47 @@ class SlingBackend(SimilarityBackend):
         return self._index.top_k(
             node, k, method="bounded" if mode == "bounded" else "local_push"
         )
+
+    # ------------------------------------------------------------------ #
+    # Mutation protocol
+    # ------------------------------------------------------------------ #
+    supports_mutation = True
+
+    def apply_mutation(self, added=(), removed=()) -> MutationReport:
+        """Apply an edge delta in place, promoting the wrapped index to a
+        :class:`DynamicSlingIndex` on first use.
+
+        Promotion adopts the already-built store and corrections without a
+        rebuild, so the backend object — and any :class:`QueryEngine`
+        fronting it — survives the mutation with its cache and statistics
+        intact; the engine is told what changed via the returned report's
+        ``affected_sources`` and ``version``.
+        """
+        self._require_built()
+        if not isinstance(self._index, DynamicSlingIndex):
+            self._index = DynamicSlingIndex.from_index(self._index)
+        report = self._index.mutate(added=added, removed=removed)
+        # Keep the backend's graph handle (degrees, bounds checks, repr)
+        # pointing at the post-mutation graph.
+        self._graph = self._index.graph
+        return report
+
+    def refreeze(self) -> bool:
+        self._require_built()
+        if not isinstance(self._index, DynamicSlingIndex):
+            return True
+        return self._index.refreeze()
+
+    @property
+    def index_version(self) -> int:
+        if isinstance(self._index, DynamicSlingIndex):
+            return self._index.version
+        return 0
+
+    def staleness_bound(self) -> float:
+        if isinstance(self._index, DynamicSlingIndex):
+            return self._index.staleness_bound()
+        return 0.0
 
     def index_size_bytes(self) -> int:
         self._require_built()

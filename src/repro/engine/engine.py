@@ -180,6 +180,7 @@ ENGINE_TOTAL_COUNTERS = (
     "pair_probe_hits",
     "pair_probe_misses",
     "pair_admissions",
+    "cache_invalidations",
 )
 
 
@@ -270,6 +271,11 @@ class EngineStatistics:
     #: also count into :attr:`cache_hits` — a pair served without touching
     #: the backend is cacheable work the cache absorbed.
     pair_probe_hits: int = 0
+    #: Cached vectors dropped because the index they were computed against
+    #: was mutated (see :meth:`QueryEngine.invalidate_cache`) — either
+    #: explicitly named as affected, or caught by the defensive version
+    #: check on lookup.
+    cache_invalidations: int = 0
     #: Standalone pair queries whose canonical source was not cached.  These
     #: deliberately do NOT count into :attr:`cache_misses`: the scalar
     #: read-through never asked the cache to do vector work, so counting it
@@ -317,6 +323,7 @@ class EngineStatistics:
             "pair_probe_hits": self.pair_probe_hits,
             "pair_probe_misses": self.pair_probe_misses,
             "pair_admissions": self.pair_admissions,
+            "cache_invalidations": self.cache_invalidations,
             "cache_hit_rate": self.cache_hit_rate,
             "hits_by_kind": {k: self.hits_by_kind[k] for k in sorted(self.hits_by_kind)},
             "misses_by_kind": {
@@ -432,9 +439,17 @@ class QueryEngine:
         self._cache_size = cache_size
         self._cache_ttl = cache_ttl_seconds
         self._pair_admission_threshold = pair_admission_threshold
-        #: node -> (vector, monotonic store time); the timestamp only
-        #: matters under a TTL but is cheap enough to always carry.
-        self._cache: OrderedDict[int, tuple[np.ndarray, float]] = OrderedDict()
+        #: node -> (vector, monotonic store time, index version); the
+        #: timestamp only matters under a TTL, the version only after a
+        #: mutation, but both are cheap enough to always carry.
+        self._cache: OrderedDict[
+            int, tuple[np.ndarray, float, int]
+        ] = OrderedDict()
+        #: Monotonic version of the index the cached vectors were computed
+        #: against; bumped by :meth:`invalidate_cache` when the backend's
+        #: graph mutates.  A cached entry stamped with an older version can
+        #: never be served (defensive check in :meth:`_cache_get_locked`).
+        self._index_version = 0
         #: Admission pressure: canonical source -> standalone pair probe
         #: misses so far (bounded; reset when the source is admitted).
         self._pair_counts: OrderedDict[int, int] = OrderedDict()
@@ -501,8 +516,10 @@ class QueryEngine:
         request reports per engine."""
         with self._lock:
             cached_vectors = len(self._cache)
+            index_version = self._index_version
         return {
             "backend": self._backend.name,
+            "index_version": index_version,
             "backend_info": self._backend.info.as_dict(),
             "plan": self.plan.as_dict() if self.plan else None,
             "cache_size": self._cache_size,
@@ -527,11 +544,71 @@ class QueryEngine:
         with self._lock:
             self._stats = EngineStatistics(backend=self._backend.name)
 
+    @property
+    def index_version(self) -> int:
+        """Monotonic version of the index this engine's cache is scoped to.
+
+        ``0`` for a static index; bumped by :meth:`invalidate_cache` each
+        time the backend's graph mutates.  Cached vectors are stamped with
+        the version current when they were stored and are never served
+        across a version boundary.
+        """
+        with self._lock:
+            return self._index_version
+
     def clear_cache(self) -> None:
         """Drop every cached single-source vector (and admission pressure)."""
         with self._lock:
             self._cache.clear()
             self._pair_counts.clear()
+
+    def invalidate_cache(
+        self,
+        affected: Iterable[int] | None = None,
+        *,
+        index_version: int | None = None,
+    ) -> int:
+        """Scope the cache to a new index version after a mutation.
+
+        ``affected`` names the source nodes whose single-source vectors may
+        have changed (the mutation's affected-source set): their cached
+        vectors and admission pressure are dropped and counted as
+        ``cache_invalidations``; every *surviving* entry is re-stamped with
+        the new version — the mutation certified it unchanged, so it keeps
+        serving.  ``affected=None`` means "everything may have changed"
+        (e.g. a re-freeze that resampled correction factors): the whole
+        cache is dropped and counted.
+
+        ``index_version`` sets the new version explicitly (it must not go
+        backwards); by default the version is bumped by one.  Returns the
+        number of entries invalidated.
+        """
+        with self._lock:
+            if index_version is None:
+                new_version = self._index_version + 1
+            else:
+                new_version = int(index_version)
+                if new_version < self._index_version:
+                    raise ParameterError(
+                        "index_version must be monotonic: "
+                        f"{new_version} < {self._index_version}"
+                    )
+            self._index_version = new_version
+            if affected is None:
+                dropped = len(self._cache)
+                self._cache.clear()
+                self._pair_counts.clear()
+                self._stats.cache_invalidations += dropped
+                return dropped
+            dropped = 0
+            for node in {int(node) for node in affected}:
+                if self._cache.pop(node, None) is not None:
+                    dropped += 1
+                self._pair_counts.pop(node, None)
+            for node, (vector, stored_at, _) in self._cache.items():
+                self._cache[node] = (vector, stored_at, new_version)
+            self._stats.cache_invalidations += dropped
+            return dropped
 
     def resize_cache(self, cache_size: int) -> None:
         """Change the LRU capacity in place, evicting oldest entries if the
@@ -573,7 +650,14 @@ class QueryEngine:
         entry = self._cache.get(node)
         if entry is None:
             return None
-        vector, stored_at = entry
+        vector, stored_at, version = entry
+        if version != self._index_version:
+            # Defensive: invalidate_cache re-stamps survivors, so a stale
+            # stamp can only appear if a store raced a version bump — drop
+            # it rather than serve a pre-mutation vector.
+            del self._cache[node]
+            self._stats.cache_invalidations += 1
+            return None
         if (
             self._cache_ttl is not None
             and time.monotonic() - stored_at > self._cache_ttl
@@ -595,11 +679,19 @@ class QueryEngine:
             self._stats.cache_misses += 1
             return None
 
-    def _cache_store(self, node: int, vector: np.ndarray) -> None:
+    def _cache_store(
+        self, node: int, vector: np.ndarray, version: int | None = None
+    ) -> None:
+        """Admit ``vector``, stamped with ``version`` — the index version the
+        caller read *before* computing it.  If a mutation bumped the version
+        mid-computation the stamp is stale and the entry is dropped on its
+        first lookup instead of serving a pre-mutation vector."""
         if self._cache_size == 0:
             return
         with self._lock:
-            self._cache[node] = (vector, time.monotonic())
+            if version is None:
+                version = self._index_version
+            self._cache[node] = (vector, time.monotonic(), version)
             self._cache.move_to_end(node)
             self._stats.cache_admissions += 1
             while len(self._cache) > self._cache_size:
@@ -622,8 +714,10 @@ class QueryEngine:
         vector = self._cache_lookup(node)
         if vector is not None:
             return vector, True
+        with self._lock:
+            version = self._index_version
         vector = self._backend_single_source(node)
-        self._cache_store(node, vector)
+        self._cache_store(node, vector, version)
         return vector, False
 
     def _batch_source_vector(
@@ -706,8 +800,10 @@ class QueryEngine:
             if admit:
                 # Computed outside the lock like any other miss; the store
                 # is idempotent under concurrent admission of one source.
+                with self._lock:
+                    version = self._index_version
                 vector = self._backend_single_source(node_u)
-                self._cache_store(node_u, vector)
+                self._cache_store(node_u, vector, version)
                 score = float(vector[node_v])
             else:
                 score = self._backend_single_pair(node_u, node_v)

@@ -55,6 +55,7 @@ from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..exceptions import ParameterError
+from ..service.control import ControlRequest, MutateRequest
 from ..service.queries import (
     Query,
     SinglePairQuery,
@@ -130,6 +131,18 @@ class TrafficPattern:
     #: pressure); ``"cold"``: pairs walk nodes outside the source region so
     #: their answers never touch the cache.
     pair_mode: str = "hot"
+    #: Probability an event is a ``mutate`` control request instead of a
+    #: query (0.0 — the default — generates pure read streams, and consumes
+    #: no extra randomness, so pre-mutation streams are reproduced exactly).
+    #: Mutation events alternate between adding fresh random edges and
+    #: removing edges the stream itself added, so the graph stays near its
+    #: original shape over a long storm.
+    mutation_fraction: float = 0.0
+    #: Edges per mutation event.
+    mutation_batch: int = 1
+    #: Every Nth mutation event also requests a re-freeze (compaction back
+    #: to a frozen store); 0 never re-freezes mid-stream.
+    mutation_refreeze_every: int = 0
 
     def __post_init__(self) -> None:
         if self.num_queries < 0:
@@ -174,6 +187,20 @@ class TrafficPattern:
             raise ParameterError(
                 f"pair_mode must be 'hot' or 'cold', got {self.pair_mode!r}"
             )
+        if not 0.0 <= self.mutation_fraction <= 1.0:
+            raise ParameterError(
+                f"mutation_fraction must be in [0, 1], got "
+                f"{self.mutation_fraction}"
+            )
+        if self.mutation_batch < 1:
+            raise ParameterError(
+                f"mutation_batch must be >= 1, got {self.mutation_batch}"
+            )
+        if self.mutation_refreeze_every < 0:
+            raise ParameterError(
+                "mutation_refreeze_every must be >= 0, got "
+                f"{self.mutation_refreeze_every}"
+            )
 
     @property
     def single_pair_fraction(self) -> float:
@@ -189,13 +216,18 @@ class TrafficPattern:
 
 @dataclass(frozen=True)
 class TrafficEvent:
-    """One generated request: its stream position, phase, and typed query."""
+    """One generated request: its stream position, phase, and typed query.
+
+    With ``mutation_fraction > 0`` some events wrap a
+    :class:`~repro.service.control.MutateRequest` instead of a query; both
+    planes share the envelope form, so the stream stays one JSONL pipe.
+    """
 
     #: Position in the stream; doubles as the wire envelope's ``id``.
     index: int
     #: ``"burst"`` or ``"steady"`` — which arrival phase produced it.
     phase: str
-    query: Query
+    query: Query | ControlRequest
 
     @property
     def kind(self) -> str:
@@ -252,6 +284,12 @@ class _DatasetState:
         self.zipf_total = total
         #: Cursor for ``cold`` pair traffic, walking the off-region nodes.
         self.pair_cursor = 0
+        #: Edges added by this stream's own mutation events and not yet
+        #: removed by one — the pool removals draw from, so a long storm
+        #: oscillates around the original graph instead of densifying it.
+        self.workload_edges: list[tuple[int, int]] = []
+        #: Mutation events generated so far (drives periodic re-freeze).
+        self.mutation_count = 0
 
 
 def generate_traffic(
@@ -284,6 +322,18 @@ def generate_traffic(
             if pattern.drift_every > 0
             else 0
         )
+        if (
+            pattern.mutation_fraction > 0.0
+            and rng.random() < pattern.mutation_fraction
+        ):
+            events.append(
+                TrafficEvent(
+                    index=index,
+                    phase="burst" if in_burst else "steady",
+                    query=_draw_mutation(state, pattern, rng),
+                )
+            )
+            continue
         roll = rng.random()
         if roll < pattern.top_k_fraction:
             query: Query = TopKQuery(
@@ -329,6 +379,43 @@ def _draw_source(
         rank = bisect.bisect_left(state.zipf_cdf, point)
         rank = min(rank, state.span - 1)
     return state.perm[(rank + drift) % state.span]
+
+
+def _draw_mutation(
+    state: _DatasetState, pattern: TrafficPattern, rng: random.Random
+) -> MutateRequest:
+    """One mutation event: add fresh random edges, or remove edges this
+    stream previously added (alternating by coin flip; additions are forced
+    while the stream-owned pool is empty)."""
+    state.mutation_count += 1
+    refreeze = (
+        pattern.mutation_refreeze_every > 0
+        and state.mutation_count % pattern.mutation_refreeze_every == 0
+    )
+    removing = bool(state.workload_edges) and rng.random() < 0.5
+    if removing:
+        removed = []
+        for _ in range(min(pattern.mutation_batch, len(state.workload_edges))):
+            removed.append(
+                state.workload_edges.pop(
+                    rng.randrange(len(state.workload_edges))
+                )
+            )
+        return MutateRequest(
+            dataset=state.name, remove=tuple(removed), refreeze=refreeze
+        )
+    added = []
+    for _ in range(pattern.mutation_batch):
+        node_u = rng.randrange(state.num_nodes)
+        node_v = rng.randrange(state.num_nodes)
+        if node_v == node_u:
+            node_v = (node_v + 1) % state.num_nodes
+        edge = (node_u, node_v)
+        added.append(edge)
+        state.workload_edges.append(edge)
+    return MutateRequest(
+        dataset=state.name, add=tuple(added), refreeze=refreeze
+    )
 
 
 def _draw_pair(
@@ -410,7 +497,10 @@ def replay_events(
 ) -> list["QueryResult"]:
     """Drive every event through ``service`` in order; one envelope per
     event, in stream order.  Failures come back as error envelopes (the
-    service boundary contract), so callers can assert ``all(r.ok ...)``."""
+    service boundary contract), so callers can assert ``all(r.ok ...)``.
+    Mutation events dispatch through the control plane (``backend`` applies
+    only to queries)."""
     return [
-        service.execute(event.query, backend=backend) for event in events
+        service.execute_request(event.query, backend=backend)
+        for event in events
     ]

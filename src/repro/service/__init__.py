@@ -16,9 +16,13 @@ strictly::
 * :mod:`repro.service.control` — frozen **control-plane** request
   dataclasses (:class:`PingRequest`, :class:`OpenDatasetRequest`,
   :class:`CloseDatasetRequest`, :class:`ListDatasetsRequest`,
-  :class:`StatsRequest`, :class:`DescribeRequest`,
+  :class:`StatsRequest`, :class:`DescribeRequest`, :class:`MutateRequest`,
   :class:`ShutdownRequest`) — admin operations that ride the same wire as
   queries and come back as the same envelopes;
+* :mod:`repro.service.mutations` — the mutation control-plane:
+  :func:`apply_mutation` applies a ``mutate`` request's edge delta to a
+  live session in place (incremental index repair, version-scoped engine
+  cache invalidation, optional re-freeze);
 * :mod:`repro.service.results` — the :class:`QueryResult` envelope (value +
   dataset + backend + plan + latency + cache-hit flag, or a structured
   :class:`QueryError` — bad requests never raise across the boundary);
@@ -62,6 +66,7 @@ from .control import (
     ControlRequest,
     DescribeRequest,
     ListDatasetsRequest,
+    MutateRequest,
     OpenDatasetRequest,
     PingRequest,
     ShutdownRequest,
@@ -69,6 +74,7 @@ from .control import (
     control_from_wire,
     request_from_wire,
 )
+from .mutations import apply_mutation, mutate_session
 from .parallel import ParallelExecutor
 from .queries import (
     QUERY_KINDS,
@@ -120,10 +126,13 @@ __all__ = [
     "ListDatasetsRequest",
     "StatsRequest",
     "DescribeRequest",
+    "MutateRequest",
     "ShutdownRequest",
     "CONTROL_KINDS",
     "control_from_wire",
     "request_from_wire",
+    "apply_mutation",
+    "mutate_session",
     "QueryError",
     "QueryResult",
     "result_from_wire",

@@ -57,6 +57,7 @@ from .control import (
     ControlRequest,
     DescribeRequest,
     ListDatasetsRequest,
+    MutateRequest,
     OpenDatasetRequest,
     PingRequest,
     ShutdownRequest,
@@ -712,6 +713,29 @@ class SimRankClient:
     def describe(self, dataset: str | None = None) -> dict:
         """Describe the service, or one open dataset session."""
         return self._value(DescribeRequest(dataset=dataset))
+
+    def mutate(
+        self,
+        dataset: str,
+        *,
+        add: Sequence[tuple[int, int]] = (),
+        remove: Sequence[tuple[int, int]] = (),
+        refreeze: bool = False,
+    ) -> dict:
+        """Apply an edge delta to ``dataset``'s live index; returns the ack
+        (``index_version``, ``epsilon_stale``, affected-set sizes, ...).
+
+        ``refreeze=True`` compacts all outstanding deltas before the ack,
+        restoring bitwise rebuild-parity answers (``epsilon_stale`` 0.0).
+        """
+        return self._value(
+            MutateRequest(
+                dataset=dataset,
+                add=tuple((int(u), int(v)) for u, v in add),
+                remove=tuple((int(u), int(v)) for u, v in remove),
+                refreeze=refreeze,
+            )
+        )
 
     def shutdown(self) -> dict:
         """Ask the server to drain and stop; the transport closes with it."""

@@ -15,6 +15,9 @@ operations a remote caller needs to manage a long-lived server:
 * :class:`DescribeRequest` — self-description: the service (protocol
   version, backends, open sessions, config) or one open session (graph
   size, per-engine plans, cache state, statistics);
+* :class:`MutateRequest` — apply an edge delta (add/remove) to one open
+  dataset's live index, optionally forcing a re-freeze; the ack reports the
+  new ``index_version`` and the certified staleness bound;
 * :class:`ShutdownRequest` — ask a serve loop to stop accepting requests,
   drain what is in flight, and exit cleanly.
 
@@ -46,6 +49,7 @@ __all__ = [
     "ListDatasetsRequest",
     "StatsRequest",
     "DescribeRequest",
+    "MutateRequest",
     "ShutdownRequest",
     "CONTROL_KINDS",
     "control_from_wire",
@@ -131,6 +135,72 @@ class DescribeRequest(ControlRequest):
             _check_dataset(self.dataset)
 
 
+def _check_edges(edges: object, field_name: str) -> tuple[tuple[int, int], ...]:
+    if isinstance(edges, (str, bytes)) or not isinstance(edges, (list, tuple)):
+        raise ParameterError(
+            f"{field_name} must be a list of (u, v) edges, got {edges!r}"
+        )
+    normalized = []
+    for edge in edges:
+        if (
+            isinstance(edge, (str, bytes))
+            or not isinstance(edge, (list, tuple))
+            or len(edge) != 2
+        ):
+            raise ParameterError(
+                f"{field_name} entries must be (u, v) pairs, got {edge!r}"
+            )
+        u, v = edge
+        if isinstance(u, bool) or isinstance(v, bool) or not (
+            isinstance(u, int) and isinstance(v, int)
+        ):
+            raise ParameterError(
+                f"{field_name} entries must hold integers, got {edge!r}"
+            )
+        if u < 0 or v < 0:
+            raise ParameterError(
+                f"{field_name} entries must be non-negative, got {edge!r}"
+            )
+        normalized.append((u, v))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class MutateRequest(ControlRequest):
+    """Apply an edge delta to one open dataset's live index.
+
+    ``add``/``remove`` are lists of ``[u, v]`` node-id pairs; ``refreeze``
+    additionally compacts all accumulated deltas into a fresh frozen store
+    (restoring rebuild-parity answers) before acknowledging.  The ack
+    carries the new monotonic ``index_version``, the certified staleness
+    bound ``epsilon_stale``, and the affected-set sizes.
+    """
+
+    kind: ClassVar[str] = "mutate"
+
+    dataset: str
+    add: tuple = ()
+    remove: tuple = ()
+    refreeze: bool = False
+
+    def __post_init__(self) -> None:
+        _check_dataset(self.dataset)
+        object.__setattr__(self, "add", _check_edges(self.add, "add"))
+        object.__setattr__(self, "remove", _check_edges(self.remove, "remove"))
+        if not isinstance(self.refreeze, bool):
+            raise ParameterError(
+                f"refreeze must be a boolean, got {self.refreeze!r}"
+            )
+
+    def to_wire(self) -> dict:
+        payload = super().to_wire()
+        # Tuples become JSON arrays anyway; emit lists so to_wire output
+        # round-trips through json.loads to an equal dict.
+        payload["add"] = [list(edge) for edge in self.add]
+        payload["remove"] = [list(edge) for edge in self.remove]
+        return payload
+
+
 @dataclass(frozen=True)
 class ShutdownRequest(ControlRequest):
     """Ask a serve loop to drain in-flight requests and exit cleanly."""
@@ -148,6 +218,7 @@ CONTROL_KINDS: dict[str, type[ControlRequest]] = {
         ListDatasetsRequest,
         StatsRequest,
         DescribeRequest,
+        MutateRequest,
         ShutdownRequest,
     )
 }

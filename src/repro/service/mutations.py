@@ -1,0 +1,204 @@
+"""The mutation control-plane: applying edge deltas to live sessions.
+
+This module is the service-side half of the dynamic-graph subsystem
+(:mod:`repro.sling.dynamic` is the index-side half).  A
+:class:`~repro.service.control.MutateRequest` arrives like any other
+control request; :func:`apply_mutation` turns it into an in-place update of
+the named session:
+
+1. the session's mutation-capable engine is found (or built — the in-memory
+   ``sling`` backend is the one mutable backend today, and it is promoted
+   to a :class:`~repro.sling.dynamic.DynamicSlingIndex` on first mutation
+   without rebuilding);
+2. the edge delta is applied incrementally, yielding a
+   :class:`~repro.sling.dynamic.MutationReport` with the exact set of
+   source nodes whose answers may have changed;
+3. the *same* :class:`~repro.engine.QueryEngine` object keeps serving — its
+   single-source LRU is scoped to the new ``index_version`` via
+   :meth:`~repro.engine.QueryEngine.invalidate_cache`, dropping only the
+   affected sources' vectors (unaffected entries survive and keep hitting);
+4. the session's graph handle is swapped to the mutated graph and every
+   *other* engine (built against the pre-mutation graph) is dropped, to be
+   rebuilt lazily on next use;
+5. the ack reports the new monotonic ``index_version`` and the certified
+   staleness bound ``ε_stale`` so clients can reason about what they read.
+
+``refreeze=True`` additionally compacts all outstanding deltas into a fresh
+frozen store (restoring bitwise rebuild-parity answers) before
+acknowledging; because a re-freeze resamples every correction factor, it
+clears the whole cache rather than an affected subset.
+
+Everything here is duck-typed against :class:`SimRankService` /
+:class:`DatasetSession` rather than importing them, so the service module
+can import this one without a cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+from ..exceptions import ParameterError, ReproError
+from ..graphs import datasets
+from .results import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_NODE_OUT_OF_RANGE,
+    ERROR_UNKNOWN_DATASET,
+    QueryResult,
+)
+
+__all__ = ["apply_mutation", "mutate_session"]
+
+#: Engine keys probed first when looking for a mutation-capable engine —
+#: the planner's pick and the explicit SLING pin are where one lives.
+_PREFERRED_KEYS = ("sling", "auto")
+
+
+def _mutable_engine(session):
+    """An already-built engine of ``session`` whose backend can mutate, or
+    ``None``.  Preferring an existing engine over building a new one is the
+    point of the exercise: it is the engine whose cache and statistics the
+    session's traffic is hitting."""
+    with session._lock:
+        engines = dict(session._engines)
+    for key in _PREFERRED_KEYS:
+        engine = engines.get(key)
+        if engine is not None and engine.backend.supports_mutation:
+            return engine
+    for engine in engines.values():
+        if engine.backend.supports_mutation:
+            return engine
+    return None
+
+
+def mutate_session(session, added=(), removed=(), *, refreeze=False) -> dict:
+    """Apply an edge delta to one open session, in place; returns the ack.
+
+    Raises :class:`~repro.exceptions.ParameterError` when no
+    mutation-capable backend is available for the session (e.g. it serves a
+    shared read-only ``sling-disk`` index) and
+    :class:`~repro.exceptions.GraphFormatError` for malformed deltas.
+    """
+    engine = _mutable_engine(session)
+    if engine is None:
+        engine = session.engine("sling")
+        if not engine.backend.supports_mutation:
+            raise ParameterError(
+                f"dataset {session.name!r} is served by backend "
+                f"{engine.backend.info.name!r}, which does not support "
+                "graph mutation (shared on-disk indexes are read-only)"
+            )
+    backend = engine.backend
+    report = backend.apply_mutation(added, removed)
+    refrozen = False
+    if refreeze:
+        refrozen = backend.refreeze()
+    version = backend.index_version
+
+    # Invalidate (bumping the engine's version) *before* publishing the
+    # session version: the engine's version must never trail the session's,
+    # or a query could serve a pre-mutation cached vector stamped with the
+    # new version.  The benign direction — a fresher answer under the old
+    # stamp — is the one mid-mutation races are allowed to produce.
+    if refrozen and refreeze:
+        # The re-freeze resampled every correction factor: all vectors are
+        # stale, not just the mutation's affected set.
+        invalidated = engine.invalidate_cache(None, index_version=version)
+    else:
+        invalidated = engine.invalidate_cache(
+            report.affected_sources, index_version=version
+        )
+
+    with session._lock:
+        session._graph = backend.graph
+        session._index_version = version
+        # The mutated engine keeps every key it already answers for and
+        # additionally becomes the session's "sling" engine; engines built
+        # against the pre-mutation graph are dropped and rebuild lazily.
+        keep: OrderedDict = OrderedDict(
+            (key, eng)
+            for key, eng in session._engines.items()
+            if eng is engine
+        )
+        keep.setdefault("sling", engine)
+        session._engines = keep
+        plan = engine.plan.as_dict() if engine.plan else None
+        session._by_label = {
+            label: (engine, plan) for label in (None, "auto", "sling")
+        }
+    return {
+        "dataset": session.name,
+        "index_version": version,
+        "epsilon_stale": backend.staleness_bound(),
+        "edges_added": report.edges_added,
+        "edges_removed": report.edges_removed,
+        "affected_targets": report.affected_targets,
+        "affected_sources": len(report.affected_sources),
+        "invalidated_vectors": invalidated,
+        "refrozen": refrozen,
+        "backend": backend.info.name,
+        "repair_seconds": report.seconds,
+    }
+
+
+def apply_mutation(service, request, start: float | None = None) -> QueryResult:
+    """Execute one ``mutate`` control request against ``service``.
+
+    Owns its whole error mapping (unknown dataset / out-of-range endpoints /
+    unsupported backend) so :meth:`SimRankService.execute_control` can
+    delegate without growing mutation-specific branches.
+    """
+    if start is None:
+        start = time.perf_counter()
+    kind, dataset = request.kind, request.dataset
+
+    def fail(code: str, message: str) -> QueryResult:
+        return QueryResult.failure(
+            code, message, kind=kind, dataset=dataset,
+            seconds=time.perf_counter() - start,
+        )
+
+    try:
+        session = service.open_dataset(dataset)
+    except ParameterError as exc:
+        known = any(
+            key.lower() == dataset.lower() for key in datasets.dataset_names()
+        )
+        return fail(ERROR_INTERNAL if known else ERROR_UNKNOWN_DATASET, str(exc))
+    except Exception as exc:  # noqa: BLE001 - the boundary must not leak
+        return fail(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
+
+    n = session.num_nodes
+    bad = [
+        (u, v)
+        for u, v in (*request.add, *request.remove)
+        if u >= n or v >= n
+    ]
+    if bad:
+        described = ", ".join(f"({u}, {v})" for u, v in bad[:5])
+        return fail(
+            ERROR_NODE_OUT_OF_RANGE,
+            f"edge endpoint(s) out of range for dataset {session.name!r} "
+            f"with {n} nodes: {described}",
+        )
+
+    try:
+        ack = mutate_session(
+            session, request.add, request.remove, refreeze=request.refreeze
+        )
+    except ReproError as exc:
+        return fail(ERROR_BAD_REQUEST, str(exc))
+    except Exception as exc:  # noqa: BLE001 - the boundary must not leak
+        return fail(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
+
+    return QueryResult.success(
+        kind=kind,
+        dataset=session.name,
+        value=ack,
+        backend=ack["backend"],
+        plan=None,
+        seconds=time.perf_counter() - start,
+        cache_hit=None,
+        index_version=ack["index_version"],
+    )

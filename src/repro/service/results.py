@@ -78,6 +78,11 @@ class QueryResult:
     plan: dict | None = None
     seconds: float = 0.0
     cache_hit: bool | None = None
+    #: Monotonic mutation version of the index that answered (``None`` for
+    #: sessions whose graph has never been mutated — the static wire form is
+    #: unchanged).  Lets a client assert an answer reflects at least the
+    #: version a mutation ack reported.
+    index_version: int | None = None
     error: QueryError | None = None
 
     @classmethod
@@ -91,6 +96,7 @@ class QueryResult:
         plan: dict | None,
         seconds: float,
         cache_hit: bool | None,
+        index_version: int | None = None,
     ) -> "QueryResult":
         """A successful envelope; ``value`` must already be JSON-able.
 
@@ -110,6 +116,7 @@ class QueryResult:
             "plan": plan,
             "seconds": seconds,
             "cache_hit": cache_hit,
+            "index_version": index_version,
             "error": None,
         })
         return self
@@ -166,6 +173,8 @@ class QueryResult:
             payload["backend"] = self.backend
             payload["plan"] = self.plan
             payload["cache_hit"] = self.cache_hit
+            if self.index_version is not None:
+                payload["index_version"] = self.index_version
         else:
             assert self.error is not None
             payload["error"] = self.error.to_wire()
@@ -190,12 +199,14 @@ def result_from_wire(payload: object) -> QueryResult:
         "seconds": float(payload.get("seconds", 0.0)),
     }
     if payload["ok"]:
+        version = payload.get("index_version")
         return QueryResult(
             ok=True,
             value=payload.get("value"),
             backend=payload.get("backend"),
             plan=payload.get("plan"),
             cache_hit=payload.get("cache_hit"),
+            index_version=int(version) if version is not None else None,
             **common,
         )
     error = payload.get("error")

@@ -47,6 +47,7 @@ from ..exceptions import ParameterError, ReproError
 from ..graphs import DiGraph, datasets
 from ..sling import has_saved_index
 from .control import ControlRequest
+from .mutations import apply_mutation
 from .queries import Query
 from .results import (
     ERROR_BAD_REQUEST,
@@ -121,6 +122,9 @@ class DatasetSession:
         #: Effective per-engine LRU capacity; the service re-divides a
         #: ``cache_budget_vectors`` budget into this as sessions come and go.
         self._cache_capacity = config.cache_size
+        #: Monotonic mutation version of the session's index; 0 until a
+        #: ``mutate`` request lands (see :mod:`repro.service.mutations`).
+        self._index_version = 0
         self._engines: OrderedDict[str, QueryEngine] = OrderedDict()
         #: Requested label (or ``None`` = service default) -> (engine, cached
         #: wire-form plan).  One dict lookup on the per-query hot path.
@@ -143,6 +147,11 @@ class DatasetSession:
     def num_nodes(self) -> int:
         """Node count of the session's graph."""
         return self._graph.num_nodes
+
+    @property
+    def index_version(self) -> int:
+        """Monotonic mutation version (0 = the graph was never mutated)."""
+        return self._index_version
 
     def backends(self) -> list[str]:
         """Engine keys built so far, in first-use order."""
@@ -253,6 +262,7 @@ class DatasetSession:
             "dataset": self._name,
             "num_nodes": self._graph.num_nodes,
             "num_edges": self._graph.num_edges,
+            "index_version": self._index_version,
             "engines": {
                 key: engine.statistics_snapshot().as_dict()
                 for key, engine in list(self._engines.items())
@@ -267,6 +277,7 @@ class DatasetSession:
             "dataset": self._name,
             "num_nodes": self._graph.num_nodes,
             "num_edges": self._graph.num_edges,
+            "index_version": self._index_version,
             "engines": {
                 key: engine.describe()
                 for key, engine in list(self._engines.items())
@@ -495,6 +506,14 @@ class SimRankService:
             )
 
         n = session.num_nodes
+        # Captured *before* the engine call: a mutation landing mid-query may
+        # make the answer fresher than this stamp, never staler — the engine
+        # cache refuses entries whose stamp trails its own version, and
+        # ``mutate_session`` bumps the engine before publishing the session
+        # version.  Claiming a version newer than the served value would
+        # defeat the ``index_version`` echo clients use to reason about
+        # staleness.
+        version = session.index_version
         cache_hit: bool | None
         try:
             if kind == "single_pair":
@@ -539,6 +558,9 @@ class SimRankService:
         else:
             record = engine.last_query_record
             cache_hit = record.cache_hit if record is not None else None
+        # Only mutated sessions stamp a version, so the wire form of a
+        # static service is byte-for-byte what it was before mutations
+        # existed.
         return QueryResult.success(
             kind=kind,
             dataset=session.name,
@@ -547,6 +569,7 @@ class SimRankService:
             plan=plan,
             seconds=time.perf_counter() - start,
             cache_hit=cache_hit,
+            index_version=version if version > 0 else None,
         )
 
     @staticmethod
@@ -670,6 +693,10 @@ class SimRankService:
                 value = {"dataset": dataset, "closed": self.close_dataset(dataset)}
             elif kind == "describe":
                 value = self.describe(dataset)
+            elif kind == "mutate":
+                # Owns its full error mapping (unknown dataset, out-of-range
+                # endpoints, read-only backend) in repro.service.mutations.
+                return apply_mutation(self, request, start)
             elif kind == "shutdown":
                 value = {"stopping": True}
             else:

@@ -37,6 +37,7 @@ from .single_source import (
 from .parameters import SlingParameters, theorem1_error_bound
 from .optimizations import AccuracyEnhancer, SpaceReduction
 from .index import BuildStatistics, SlingIndex
+from .dynamic import DynamicSlingIndex, MutationReport
 from .storage import (
     DiskBackedIndex,
     OutOfCoreBuildReport,
@@ -84,6 +85,8 @@ __all__ = [
     "SpaceReduction",
     "BuildStatistics",
     "SlingIndex",
+    "DynamicSlingIndex",
+    "MutationReport",
     "DiskBackedIndex",
     "OutOfCoreBuildReport",
     "has_saved_index",

@@ -1,0 +1,706 @@
+"""Dynamic SLING: incremental index maintenance over a mutating graph.
+
+Every structure built so far assumes a frozen graph — one edge change forces
+a full :meth:`SlingIndex.build`.  This module exploits the locality of
+SLING's walk decomposition to avoid that: a hitting-probability entry
+``h̃^(ℓ)(v, t)`` only changes when a reverse-push walk from ``t`` crosses a
+modified edge, and a correction factor ``d̃_k`` only changes structurally
+when ``|I(k)|`` changes.  :class:`DynamicSlingIndex` therefore repairs a
+mutation batch in three local steps:
+
+1. **Affected-target detection.**  Let ``D`` be the *detection set*: the
+   tails and heads of the changed edges plus the pre-mutation in-neighbours
+   of every head.  A reverse push from any target ``t`` behaves identically
+   on the old and new graphs until its frontier first touches a changed
+   edge or a changed in-degree — and at that first divergence the pushing
+   node ``d ∈ D`` holds kept (``> θ``) mass from ``t``, i.e. ``t`` appears
+   in ``d``'s current hitting set.  The affected-target set is therefore
+   exactly ``T = ⋃_{d∈D} targets(H(d))`` — cheap to read off the packed
+   store, and an over-approximation is harmless (re-pushing an unchanged
+   target produces identical entries).
+
+2. **Local repair.**  For every ``t ∈ T`` the reverse push is re-run on the
+   old and the new graph (:func:`~repro.sling.hitting.reverse_push` both
+   times — the old run enumerates exactly the stored positions, the new run
+   the replacement values).  Differences become copy-on-write overlay
+   patches per source node: fresh values for new/changed positions and
+   value-``0.0`` tombstones for positions that disappeared (legitimate
+   stored values are always ``> θ > 0``, so ``0.0`` unambiguously means
+   "deleted", contributes nothing to a dot product, and pushes no mass).
+   Correction factors are re-estimated only for the heads (whose
+   ``c/|I(k)|`` term changed discretely), each with its own deterministic
+   per-node RNG stream.
+
+3. **Bounded-staleness serving.**  Queries read an immutable *generation*
+   object ``(graph, store, corrections, overlay, version)`` grabbed once
+   per query; mutations and re-freezes publish a new generation atomically
+   and never touch an old one, so readers are never blocked and an old
+   generation is retired by the garbage collector once its in-flight
+   queries drain.  While deltas are outstanding the repaired hitting
+   entries are exact for the new graph but far-away correction factors may
+   carry second-order drift (their meeting probability ``µ`` is estimated
+   on walks of the old graph); :meth:`DynamicSlingIndex.staleness_bound`
+   therefore certifies ``ε_stale = 2ε`` — the overlay answer and a
+   from-scratch rebuild each carry the Theorem-1 budget ``ε`` against the
+   new graph's SimRank under the standard sampling guarantees, so they
+   agree within ``2ε`` — and reports ``0.0`` once a re-freeze has landed.
+
+**Re-freeze** compacts the overlay into a fresh
+:class:`~repro.sling.packed.PackedHittingStore` and re-estimates *all*
+correction factors with the exact build recipe (one shared sequential
+walker seeded like :meth:`SlingIndex.build`), so a re-frozen index is
+**bitwise identical** — columns, corrections, and therefore answers — to a
+from-scratch build on the mutated graph.  The compaction runs outside the
+mutation lock and installs its generation only if no mutation landed
+meanwhile (compare-and-swap on the generation object, retried a bounded
+number of times), which is what :meth:`DynamicSlingIndex.refreeze_async`
+runs on a background thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import IndexNotBuiltError, ParameterError
+from ..graphs import DiGraph
+from ..ranking import rank_top_k
+from .correction import (
+    estimate_all_correction_factors,
+    estimate_correction_factor,
+)
+from .hitting import reverse_push
+from .index import SlingIndex
+from .packed import PackedHittingStore, QueryView, intersect_views
+from .parameters import SlingParameters
+from .single_source import single_source_cascade, single_source_local_push
+from .walks import SqrtCWalker
+
+__all__ = ["DynamicSlingIndex", "MutationReport"]
+
+#: Overlay patches map ``source -> {(level, target): value}``; a value of
+#: exactly ``0.0`` is a tombstone (stored values are always ``> θ > 0``).
+_Overlay = dict[int, dict[tuple[int, int], float]]
+
+
+@dataclass(frozen=True)
+class MutationReport:
+    """What one mutation batch (or re-freeze) did to the index."""
+
+    #: Edges actually added / removed (no-op edges are filtered out).
+    edges_added: int
+    edges_removed: int
+    #: How many targets had their reverse pushes re-run.
+    affected_targets: int
+    #: Every source node whose answers may have changed — the exact set a
+    #: cache keyed by source must invalidate (closed under both pair sides).
+    affected_sources: tuple[int, ...]
+    #: The index version after this batch (monotonically increasing).
+    version: int
+    #: Certified staleness bound of answers served after this batch.
+    epsilon_stale: float
+    #: Wall-clock seconds spent repairing.
+    seconds: float
+
+
+class _Generation:
+    """One immutable serving state; queries hold a reference, never a lock."""
+
+    __slots__ = ("graph", "store", "corrections", "overlay", "version", "dirty")
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        store: PackedHittingStore,
+        corrections: np.ndarray,
+        overlay: _Overlay,
+        version: int,
+        dirty: bool,
+    ) -> None:
+        self.graph = graph
+        self.store = store
+        self.corrections = corrections
+        self.overlay = overlay
+        self.version = version
+        #: Whether any mutation has landed since the last (re-)freeze —
+        #: drives the reported staleness bound even when a batch produced
+        #: an empty overlay (e.g. only a correction factor changed).
+        self.dirty = dirty
+
+
+class DynamicSlingIndex:
+    """A SLING index that stays queryable while its graph mutates.
+
+    Wraps a plain (no space-reduction / accuracy-enhancement) in-memory
+    :class:`SlingIndex` build and exposes the same query surface —
+    ``single_pair`` / ``single_source`` / ``top_k`` plus the size accessors
+    the backend adapter needs — with three additions: :meth:`add_edges` /
+    :meth:`remove_edges` / :meth:`mutate` apply edge deltas incrementally,
+    :meth:`refreeze` compacts them back into a frozen store with bitwise
+    rebuild parity, and :attr:`version` / :meth:`staleness_bound` report
+    the serving state for cache scoping and per-query staleness.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        c: float = 0.6,
+        epsilon: float = 0.025,
+        delta: float | None = None,
+        seed: int | None = None,
+        adaptive_correction: bool = True,
+        parameters: SlingParameters | None = None,
+    ) -> None:
+        self._base = SlingIndex(
+            graph,
+            c=c,
+            epsilon=epsilon,
+            delta=delta,
+            seed=seed,
+            adaptive_correction=adaptive_correction,
+            parameters=parameters,
+        )
+        self._seed = seed
+        self._adaptive = adaptive_correction
+        self._mutex = threading.Lock()
+        self._gen: _Generation | None = None
+        self._mutation_count = 0
+        self._refreeze_count = 0
+
+    @classmethod
+    def from_index(cls, index: SlingIndex) -> "DynamicSlingIndex":
+        """Adopt an already-built plain :class:`SlingIndex` without rebuilding.
+
+        The index must have been built without ``reduce_space`` /
+        ``enhance_accuracy``: the overlay repair rewrites raw reverse-push
+        entries, which those optimizations post-process in ways an
+        incremental patch cannot reproduce.
+        """
+        if getattr(index, "_reduce_space", False) or getattr(
+            index, "_enhance_accuracy", False
+        ):
+            raise ParameterError(
+                "dynamic maintenance requires a plain SLING index "
+                "(reduce_space=False, enhance_accuracy=False)"
+            )
+        dynamic = cls.__new__(cls)
+        dynamic._base = index
+        dynamic._seed = getattr(index, "_seed", None)
+        dynamic._adaptive = getattr(index, "_adaptive_correction", True)
+        dynamic._mutex = threading.Lock()
+        dynamic._gen = None
+        dynamic._mutation_count = 0
+        dynamic._refreeze_count = 0
+        if index.is_built:
+            dynamic._adopt_base()
+        return dynamic
+
+    # ------------------------------------------------------------------ #
+    # Build / introspection
+    # ------------------------------------------------------------------ #
+    def build(self, *, workers: int = 1) -> "DynamicSlingIndex":
+        """Build the base index (if needed) and open generation 0."""
+        with self._mutex:
+            if self._gen is not None:
+                return self
+            if not self._base.is_built:
+                self._base.build(workers=workers)
+            self._adopt_base()
+        return self
+
+    def _adopt_base(self) -> None:
+        self._gen = _Generation(
+            graph=self._base.graph,
+            store=self._base.packed_store,
+            corrections=self._base.correction_factors,
+            overlay={},
+            version=0,
+            dirty=False,
+        )
+
+    def _generation(self) -> _Generation:
+        gen = self._gen
+        if gen is None:
+            raise IndexNotBuiltError("dynamic SLING index")
+        return gen
+
+    @property
+    def is_built(self) -> bool:
+        """Whether a serving generation exists."""
+        return self._gen is not None
+
+    @property
+    def graph(self) -> DiGraph:
+        """The *current* (post-mutation) graph."""
+        return self._generation().graph
+
+    @property
+    def parameters(self) -> SlingParameters:
+        """The resolved parameter set (shared with the base build)."""
+        return self._base.parameters
+
+    @property
+    def packed_store(self) -> PackedHittingStore:
+        """The frozen store of the current generation (overlay not applied)."""
+        return self._generation().store
+
+    @property
+    def correction_factors(self) -> np.ndarray:
+        """Correction factors of the current generation."""
+        return self._generation().corrections
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing index version; bumped per mutation
+        batch and per re-freeze."""
+        return self._generation().version
+
+    @property
+    def is_dirty(self) -> bool:
+        """Whether un-compacted deltas are outstanding."""
+        return self._generation().dirty
+
+    def staleness_bound(self) -> float:
+        """The certified per-query staleness bound ``ε_stale``.
+
+        ``2ε`` while deltas are outstanding (overlay answer and a
+        from-scratch rebuild each carry the Theorem-1 ``ε`` budget against
+        the mutated graph's SimRank, so they differ by at most ``2ε``),
+        ``0.0`` once re-frozen — then answers are bitwise rebuild-identical.
+        """
+        gen = self._generation()
+        return 2.0 * self._base.parameters.epsilon if gen.dirty else 0.0
+
+    def statistics(self) -> dict:
+        """Serving-state snapshot: version, dirtiness, overlay size."""
+        gen = self._generation()
+        return {
+            "index_version": gen.version,
+            "dirty": gen.dirty,
+            "epsilon_stale": self.staleness_bound(),
+            "overlay_nodes": len(gen.overlay),
+            "overlay_entries": sum(len(p) for p in gen.overlay.values()),
+            "mutations": self._mutation_count,
+            "refreezes": self._refreeze_count,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edges(
+        self, edges: Iterable[tuple[int, int]]
+    ) -> MutationReport:
+        """Add directed edges incrementally; see :meth:`mutate`."""
+        return self.mutate(added=edges)
+
+    def remove_edges(
+        self, edges: Iterable[tuple[int, int]]
+    ) -> MutationReport:
+        """Remove directed edges incrementally; see :meth:`mutate`."""
+        return self.mutate(removed=edges)
+
+    def mutate(
+        self,
+        added: Iterable[tuple[int, int]] = (),
+        removed: Iterable[tuple[int, int]] = (),
+    ) -> MutationReport:
+        """Apply one edge-delta batch and repair the index locally.
+
+        Adding a present edge or removing an absent one is a no-op; a batch
+        with no effective change does not bump the version.  Raises
+        :class:`~repro.exceptions.GraphFormatError` for out-of-range
+        endpoints or an edge listed on both sides.
+        """
+        start = time.perf_counter()
+        added = list(added)
+        removed = list(removed)
+        with self._mutex:
+            gen = self._generation()
+            old_graph = gen.graph
+            new_graph = old_graph.with_edges(added, removed)
+            if new_graph is old_graph:
+                return MutationReport(
+                    edges_added=0,
+                    edges_removed=0,
+                    affected_targets=0,
+                    affected_sources=(),
+                    version=gen.version,
+                    epsilon_stale=self.staleness_bound(),
+                    seconds=time.perf_counter() - start,
+                )
+            actual_added = sorted(
+                {
+                    (int(u), int(v))
+                    for u, v in added
+                    if not old_graph.has_edge(int(u), int(v))
+                }
+            )
+            actual_removed = sorted(
+                {
+                    (int(u), int(v))
+                    for u, v in removed
+                    if old_graph.has_edge(int(u), int(v))
+                }
+            )
+            params = self._base.parameters
+            sqrt_c, theta = params.sqrt_c, params.theta
+
+            heads = {v for _, v in actual_added} | {
+                v for _, v in actual_removed
+            }
+            detect = {u for u, _ in actual_added}
+            detect |= {u for u, _ in actual_removed}
+            detect |= heads
+            for head in heads:
+                detect.update(int(x) for x in old_graph.in_neighbors(head))
+
+            affected_targets: set[int] = set()
+            for node in detect:
+                view = self._compose_view(gen, node)
+                values = np.asarray(view.values)
+                targets = np.asarray(view.targets)
+                affected_targets.update(
+                    int(t) for t in targets[values > 0.0]
+                )
+
+            # The pre-mutation entries for the affected targets are read
+            # back from the serving state (store columns ⊕ overlay) in one
+            # vectorised scan rather than re-running the old-graph reverse
+            # pushes: the patch set must transform *what is actually served*
+            # into the new push's result, so diffing against the served
+            # entries is both correct by construction and roughly halves
+            # the repair cost.
+            store = gen.store
+            old_by_target: dict[int, dict[tuple[int, int], float]] = {
+                target: {} for target in affected_targets
+            }
+            if affected_targets:
+                affected_array = np.fromiter(
+                    sorted(affected_targets), dtype=np.int64
+                )
+                mask = np.isin(
+                    store.targets.astype(np.int64, copy=False), affected_array
+                )
+                entry_sources = np.repeat(
+                    np.arange(store.num_nodes, dtype=np.int64),
+                    np.diff(store.offsets),
+                )
+                for source, level, target, value in zip(
+                    entry_sources[mask].tolist(),
+                    store.levels[mask].tolist(),
+                    store.targets[mask].tolist(),
+                    store.values[mask].tolist(),
+                ):
+                    old_by_target[int(target)][
+                        (int(source), int(level))
+                    ] = float(value)
+                for source, patch in gen.overlay.items():
+                    for (level, target), value in patch.items():
+                        entries = old_by_target.get(int(target))
+                        if entries is None:
+                            continue
+                        if value == 0.0:
+                            entries.pop((int(source), int(level)), None)
+                        else:
+                            entries[(int(source), int(level))] = value
+
+            patches: _Overlay = {}
+            affected_sources: set[int] = set()
+            scratch = np.zeros(new_graph.num_nodes, dtype=np.float64)
+            for target in sorted(affected_targets):
+                old_entries = old_by_target[target]
+                new_push = reverse_push(
+                    new_graph, target, sqrt_c, theta, scratch=scratch
+                )
+                seen: set[tuple[int, int]] = set()
+                for level, frontier in new_push.items():
+                    level = int(level)
+                    for source, value in frontier.items():
+                        source = int(source)
+                        affected_sources.add(source)
+                        seen.add((source, level))
+                        if old_entries.get((source, level)) != value:
+                            patches.setdefault(source, {})[
+                                (level, target)
+                            ] = float(value)
+                for source, level in old_entries:
+                    affected_sources.add(source)
+                    if (source, level) not in seen:
+                        # Tombstone: the position vanished on the new graph.
+                        patches.setdefault(source, {})[(level, target)] = 0.0
+
+            corrections = np.array(gen.corrections, dtype=np.float64, copy=True)
+            new_version = gen.version + 1
+            for head in sorted(heads):
+                corrections[head] = self._estimate_one_correction(
+                    new_graph, head, new_version
+                )
+            corrections.flags.writeable = False
+
+            overlay: _Overlay = dict(gen.overlay)
+            for source, entries in patches.items():
+                merged = dict(overlay.get(source, ()))
+                merged.update(entries)
+                overlay[source] = merged
+
+            self._gen = _Generation(
+                graph=new_graph,
+                store=gen.store,
+                corrections=corrections,
+                overlay=overlay,
+                version=new_version,
+                dirty=True,
+            )
+            self._mutation_count += 1
+            return MutationReport(
+                edges_added=len(actual_added),
+                edges_removed=len(actual_removed),
+                affected_targets=len(affected_targets),
+                affected_sources=tuple(sorted(affected_sources)),
+                version=new_version,
+                epsilon_stale=self.staleness_bound(),
+                seconds=time.perf_counter() - start,
+            )
+
+    def _estimate_one_correction(
+        self, graph: DiGraph, node: int, version: int
+    ) -> float:
+        """Re-estimate one ``d̃_k`` with a deterministic per-node stream.
+
+        The full build shares one sequential RNG across all nodes, so a
+        subset re-estimation cannot reuse that stream; each repaired node
+        instead gets its own generator derived from (seed, version, node) —
+        deterministic for tests, independent across repairs.
+        """
+        params = self._base.parameters
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                (0 if self._seed is None else int(self._seed), version, node)
+            )
+        )
+        walker = SqrtCWalker(graph, params.c, seed=rng)
+        estimate = estimate_correction_factor(
+            walker,
+            node,
+            params.epsilon_d,
+            params.delta_d,
+            adaptive=self._adaptive,
+        )
+        return float(estimate.value)
+
+    # ------------------------------------------------------------------ #
+    # Re-freeze
+    # ------------------------------------------------------------------ #
+    def refreeze(self, *, max_attempts: int = 3) -> bool:
+        """Compact deltas into a fresh frozen generation, rebuild-parity.
+
+        The merged store and full-recipe correction factors are computed
+        *outside* the mutation lock; the new generation is installed only
+        if no mutation landed meanwhile (retrying up to ``max_attempts``
+        times).  Returns ``True`` when a clean generation is serving —
+        including the trivial case of nothing to compact.
+
+        After a successful re-freeze the store columns and correction
+        factors are bitwise identical to ``SlingIndex(graph, seed=seed,
+        ...).build()`` on the mutated graph, so every answer matches a
+        from-scratch rebuild exactly.
+        """
+        for _ in range(max_attempts):
+            snapshot = self._generation()
+            if not snapshot.dirty:
+                return True
+            params = self._base.parameters
+            store = self._merge_store(snapshot)
+            walker = SqrtCWalker(snapshot.graph, params.c, seed=self._seed)
+            corrections = estimate_all_correction_factors(
+                walker,
+                params.epsilon_d,
+                params.delta_d,
+                adaptive=self._adaptive,
+            )
+            corrections.flags.writeable = False
+            with self._mutex:
+                if self._gen is not snapshot:
+                    continue  # a mutation raced the compaction; recompute
+                self._gen = _Generation(
+                    graph=snapshot.graph,
+                    store=store,
+                    corrections=corrections,
+                    overlay={},
+                    version=snapshot.version + 1,
+                    dirty=False,
+                )
+                self._refreeze_count += 1
+                return True
+        return False
+
+    def refreeze_async(self, *, max_attempts: int = 3) -> threading.Thread:
+        """Run :meth:`refreeze` on a background daemon thread.
+
+        Readers keep serving from the current generation throughout; join
+        the returned thread to wait for the swap."""
+        thread = threading.Thread(
+            target=self.refreeze,
+            kwargs={"max_attempts": max_attempts},
+            name="repro-dynamic-refreeze",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    @staticmethod
+    def _merge_store(gen: _Generation) -> PackedHittingStore:
+        """Base columns + overlay (tombstones dropped) as a fresh store."""
+        store = gen.store
+        if not gen.overlay:
+            return store
+        num_nodes = store.num_nodes
+        counts = np.empty(num_nodes, dtype=np.int64)
+        levels_parts: list[np.ndarray] = []
+        targets_parts: list[np.ndarray] = []
+        values_parts: list[np.ndarray] = []
+        for node in range(num_nodes):
+            patch = gen.overlay.get(node)
+            if patch is None:
+                lo, hi = store.slice_bounds(node)
+                levels_parts.append(store.levels[lo:hi])
+                targets_parts.append(store.targets[lo:hi])
+                values_parts.append(store.values[lo:hi])
+                counts[node] = hi - lo
+                continue
+            view = store.node_view(node).override(
+                (level, target, value)
+                for (level, target), value in patch.items()
+            )
+            values = np.asarray(view.values)
+            keep = values > 0.0
+            levels_parts.append(np.asarray(view.levels)[keep])
+            targets_parts.append(np.asarray(view.targets)[keep])
+            values_parts.append(values[keep])
+            counts[node] = int(keep.sum())
+        offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return PackedHittingStore.from_columns(
+            offsets,
+            np.concatenate(levels_parts),
+            np.concatenate(targets_parts),
+            np.concatenate(values_parts),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries (read one generation, never a lock)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _compose_view(gen: _Generation, node: int) -> QueryView:
+        view = gen.store.node_view(node)
+        patch = gen.overlay.get(node)
+        if patch:
+            view = view.override(
+                (level, target, value)
+                for (level, target), value in patch.items()
+            )
+        return view
+
+    def _query_view(self, gen: _Generation, node: int) -> QueryView:
+        node = int(node)
+        gen.graph.in_degree(node)  # validates the node id
+        return self._compose_view(gen, node)
+
+    def single_pair(self, node_u: int, node_v: int) -> float:
+        """Approximate SimRank ``s̃(u, v)`` on the current generation."""
+        gen = self._generation()
+        return intersect_views(
+            self._query_view(gen, node_u),
+            self._query_view(gen, node_v),
+            gen.corrections,
+        )
+
+    def single_source(
+        self, node: int, *, method: str = "local_push"
+    ) -> np.ndarray:
+        """Approximate SimRank from ``node`` to every node, as ``(n,)``.
+
+        Supports the ``"local_push"`` (bitwise-stable reference) and
+        ``"cascade"`` kernels; both run on the current graph with the
+        overlay-composed view, so tombstoned entries push no mass.
+        """
+        gen = self._generation()
+        params = self._base.parameters
+        view = self._query_view(gen, node)
+        if method == "local_push":
+            return single_source_local_push(
+                gen.graph, view, gen.corrections, params.sqrt_c, params.theta
+            )
+        if method == "cascade":
+            return single_source_cascade(
+                gen.graph, view, gen.corrections, params.sqrt_c, params.theta
+            )
+        raise ParameterError(
+            f"unknown single-source method {method!r}; "
+            "expected 'local_push' or 'cascade'"
+        )
+
+    def top_k(
+        self, node: int, k: int, *, method: str = "local_push",
+        budget: float | None = None,
+    ) -> list[tuple[int, float]]:
+        """The ``k`` nodes most similar to ``node`` (excluding itself).
+
+        ``"bounded"`` falls back to the exact local-push ranking: the
+        packed store's per-level pruning metadata describes the *frozen*
+        columns, so its bounds are not trustworthy while overlay deltas are
+        outstanding.  (``budget`` is accepted for interface compatibility.)
+        """
+        del budget
+        if k <= 0:
+            raise ParameterError(f"k must be positive, got {k}")
+        if method == "bounded":
+            method = "local_push"
+        scores = self.single_source(node, method=method)
+        return rank_top_k(scores, int(node), k)
+
+    # ------------------------------------------------------------------ #
+    # Size accounting (backend-adapter surface)
+    # ------------------------------------------------------------------ #
+    def index_size_bytes(self) -> int:
+        """Figure-4 accounting: corrections + packed entries + overlay."""
+        gen = self._generation()
+        overlay_entries = sum(len(p) for p in gen.overlay.values())
+        return (
+            8 * gen.graph.num_nodes
+            + gen.store.size_bytes()
+            + 12 * overlay_entries
+        )
+
+    def resident_bytes(self) -> int:
+        """In-memory footprint of the current generation's arrays."""
+        gen = self._generation()
+        overlay_entries = sum(len(p) for p in gen.overlay.values())
+        return int(
+            np.asarray(gen.corrections).nbytes
+            + gen.store.nbytes
+            # dict-of-dicts overlay: ~3 pointers-worth per entry is a floor,
+            # reported so capacity planning sees the delta at all.
+            + 24 * overlay_entries
+        )
+
+    def average_set_size(self) -> float:
+        """Average stored hitting probabilities per node (Table-1 style)."""
+        gen = self._generation()
+        if gen.store.num_nodes == 0:
+            return 0.0
+        return gen.store.num_entries / gen.store.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._gen is None:
+            return "DynamicSlingIndex(not built)"
+        gen = self._gen
+        return (
+            f"DynamicSlingIndex(n={gen.graph.num_nodes}, "
+            f"version={gen.version}, dirty={gen.dirty})"
+        )

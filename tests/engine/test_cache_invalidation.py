@@ -1,0 +1,119 @@
+"""Regression tests for version-scoped engine-cache invalidation.
+
+The original cache was keyed by source node alone, so a graph mutation
+could keep serving pre-mutation vectors forever.  These tests pin the
+fix: entries carry the ``index_version`` they were computed against,
+``invalidate_cache`` drops exactly the affected sources (re-stamping the
+certified survivors), and the ``cache_invalidations`` counter records
+every drop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import BackendInfo, QueryEngine, SimilarityBackend
+from repro.engine.engine import ENGINE_TOTAL_COUNTERS
+from repro.exceptions import ParameterError
+from repro.graphs import generators
+
+
+class VersionedBackend(SimilarityBackend):
+    """Stub whose answers depend on a mutable ``generation`` counter.
+
+    This makes stale-cache bugs observable: if the engine serves a cached
+    vector computed before ``generation`` was bumped, the value is wrong.
+    """
+
+    info = BackendInfo(name="versioned-stub", exact=True, build_cost="none")
+
+    def __init__(self, graph, config=None):
+        super().__init__(graph, config)
+        self.generation = 0
+        self.source_calls = 0
+
+    def build(self):
+        self._built = True
+        return self
+
+    def single_pair(self, node_u, node_v):
+        return float(self.single_source(node_u)[int(node_v)])
+
+    def single_source(self, node):
+        self.source_calls += 1
+        n = self._graph.num_nodes
+        return np.full(n, float(self.generation) + int(node) / n)
+
+    def index_size_bytes(self):
+        return 8
+
+
+@pytest.fixture()
+def engine():
+    return QueryEngine(VersionedBackend(generators.cycle(8)), cache_size=8)
+
+
+class TestScopedInvalidation:
+    def test_mutation_then_query_returns_fresh_value(self, engine):
+        stale = engine.single_source(3)
+        engine.backend.generation = 1  # "the graph mutated"
+        engine.invalidate_cache([3])
+        fresh = engine.single_source(3)
+        assert fresh[0] == pytest.approx(stale[0] + 1.0)
+        assert engine.backend.source_calls == 2
+        assert engine.statistics.cache_invalidations == 1
+
+    def test_unaffected_entries_survive_and_stay_servable(self, engine):
+        engine.single_source(1)
+        engine.single_source(2)
+        engine.single_source(3)
+        dropped = engine.invalidate_cache([3])
+        assert dropped == 1
+        # 1 and 2 were certified unchanged: still cache hits at the new version.
+        engine.single_source(1)
+        engine.single_source(2)
+        assert engine.backend.source_calls == 3
+        assert engine.statistics.cache_hits == 2
+        assert engine.statistics.cache_invalidations == 1
+
+    def test_full_clear_when_no_affected_set_given(self, engine):
+        engine.single_source(1)
+        engine.single_source(2)
+        dropped = engine.invalidate_cache()
+        assert dropped == 2
+        assert engine.statistics.cache_invalidations == 2
+        engine.single_source(1)
+        assert engine.backend.source_calls == 3
+
+    def test_invalidating_uncached_source_drops_nothing(self, engine):
+        engine.single_source(1)
+        assert engine.invalidate_cache([5]) == 0
+        assert engine.statistics.cache_invalidations == 0
+        # ...but the version still advanced (the index did change).
+        assert engine.index_version == 1
+
+    def test_version_is_monotonic(self, engine):
+        assert engine.index_version == 0
+        engine.invalidate_cache([1], index_version=4)
+        assert engine.index_version == 4
+        with pytest.raises(ParameterError):
+            engine.invalidate_cache([1], index_version=2)
+
+    def test_single_pair_path_also_sees_fresh_values(self, engine):
+        # Warm the pair-amortization path so a source vector lands in cache.
+        for _ in range(8):
+            engine.single_pair(3, 4)
+        stale = engine.single_pair(3, 4)
+        engine.backend.generation = 2
+        engine.invalidate_cache([3])
+        fresh = engine.single_pair(3, 4)
+        assert fresh == pytest.approx(stale + 2.0)
+
+    def test_counter_is_aggregated(self, engine):
+        assert "cache_invalidations" in ENGINE_TOTAL_COUNTERS
+        engine.single_source(1)
+        engine.invalidate_cache([1])
+        stats = engine.statistics.as_dict()
+        assert stats["cache_invalidations"] == 1
+        assert engine.describe()["index_version"] == 1

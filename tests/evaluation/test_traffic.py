@@ -183,3 +183,94 @@ class TestReplay:
         assert len(results) == 40
         assert all(result.ok for result in results)
         assert [r.kind for r in results] == [e.kind for e in events]
+
+
+class TestMutationEvents:
+    NODE_COUNTS = {"GrQc": 120}
+
+    def pattern(self, **kwargs):
+        kwargs.setdefault("num_queries", 300)
+        kwargs.setdefault("seed", 21)
+        kwargs.setdefault("mutation_fraction", 0.1)
+        return TrafficPattern(**kwargs)
+
+    def test_zero_fraction_reproduces_the_static_stream(self):
+        static = generate_traffic(self.NODE_COUNTS, TrafficPattern(seed=21))
+        gated = generate_traffic(
+            self.NODE_COUNTS, TrafficPattern(seed=21, mutation_fraction=0.0)
+        )
+        assert [e.to_wire() for e in static] == [e.to_wire() for e in gated]
+        assert all(e.kind != "mutate" for e in static)
+
+    def test_mutate_events_appear_and_are_deterministic(self):
+        events = generate_traffic(self.NODE_COUNTS, self.pattern())
+        mutations = [e for e in events if e.kind == "mutate"]
+        assert mutations, "a 10% mutation fraction must produce events"
+        again = generate_traffic(self.NODE_COUNTS, self.pattern())
+        assert [e.to_wire() for e in events] == [e.to_wire() for e in again]
+        summary = summarize_events(events)
+        assert summary["by_kind"]["mutate"] == len(mutations)
+
+    def test_removals_only_target_stream_added_edges(self):
+        events = generate_traffic(
+            self.NODE_COUNTS, self.pattern(mutation_batch=2)
+        )
+        added, removed = set(), []
+        for event in events:
+            if event.kind != "mutate":
+                continue
+            for edge in event.query.remove:
+                removed.append(tuple(edge))
+                assert tuple(edge) in added, "removal of a foreign edge"
+                added.discard(tuple(edge))
+            added.update(map(tuple, event.query.add))
+        assert removed, "the storm should oscillate, not only grow"
+
+    def test_refreeze_every_nth_mutation(self):
+        events = generate_traffic(
+            self.NODE_COUNTS, self.pattern(mutation_refreeze_every=2)
+        )
+        flags = [e.query.refreeze for e in events if e.kind == "mutate"]
+        assert any(flags)
+        assert flags == [
+            (i + 1) % 2 == 0 for i in range(len(flags))
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mutation_fraction": -0.1},
+            {"mutation_fraction": 1.5},
+            {"mutation_batch": 0},
+            {"mutation_refreeze_every": -1},
+        ],
+    )
+    def test_invalid_mutation_knobs_raise(self, kwargs):
+        with pytest.raises(ParameterError):
+            TrafficPattern(**kwargs)
+
+    def test_replay_applies_mutations_through_the_service(self):
+        graph = generators.two_level_community(3, 10, seed=7)
+        service = SimRankService(ServiceConfig(backend="sling"))
+        service.open_dataset("toy", graph=graph)
+        pattern = TrafficPattern(
+            num_queries=60, seed=4, mutation_fraction=0.1,
+            mutation_refreeze_every=3,
+        )
+        events = generate_traffic({"toy": graph.num_nodes}, pattern)
+        assert any(e.kind == "mutate" for e in events)
+        results = replay_events(service, events)
+        assert all(result.ok for result in results), [
+            r.error for r in results if not r.ok
+        ]
+        acks = [r for r in results if r.kind == "mutate"]
+        versions = [r.value["index_version"] for r in acks]
+        assert versions == sorted(versions)
+        assert service.statistics()["datasets"]["toy"]["index_version"] == max(
+            versions
+        )
+        # Queries served after the first mutation carry its stamp.
+        post = [
+            r for r in results[results.index(acks[0]) + 1:] if r.kind != "mutate"
+        ]
+        assert post and all(r.index_version >= 1 for r in post)

@@ -1,0 +1,99 @@
+"""Tests for ``DiGraph.with_edges``: delta-merge of sorted adjacency arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graphs import DiGraph, generators
+
+
+def assert_graphs_bit_identical(left: DiGraph, right: DiGraph) -> None:
+    assert left.num_nodes == right.num_nodes
+    assert left.num_edges == right.num_edges
+    assert np.array_equal(left.out_degrees(), right.out_degrees())
+    assert np.array_equal(left.in_degrees(), right.in_degrees())
+    for node in left.nodes():
+        assert np.array_equal(left.out_neighbors(node), right.out_neighbors(node))
+        assert np.array_equal(left.in_neighbors(node), right.in_neighbors(node))
+
+
+class TestDeltaMerge:
+    def test_matches_fresh_construction(self):
+        graph = generators.two_level_community(3, 10, seed=7)
+        added = [(0, 17), (5, 23), (29, 1)]
+        removed = [edge for edge in list(graph.edges())[:3]]
+        merged = graph.with_edges(added=added, removed=removed)
+        reference_edges = (set(map(tuple, graph.edges())) | set(added)) - set(removed)
+        reference = DiGraph(graph.num_nodes, sorted(reference_edges))
+        assert_graphs_bit_identical(merged, reference)
+
+    def test_random_deltas_match_fresh_construction(self):
+        rng = np.random.default_rng(41)
+        graph = generators.preferential_attachment(40, 3, seed=11)
+        for _ in range(20):
+            current = set(map(tuple, graph.edges()))
+            added = []
+            while len(added) < 4:
+                u, v = rng.integers(0, graph.num_nodes, size=2)
+                if u != v and (int(u), int(v)) not in current:
+                    added.append((int(u), int(v)))
+            pool = sorted(current)
+            removed = [
+                pool[int(i)]
+                for i in rng.choice(len(pool), size=3, replace=False)
+            ]
+            merged = graph.with_edges(added=added, removed=removed)
+            reference = DiGraph(
+                graph.num_nodes, sorted((current | set(added)) - set(removed))
+            )
+            assert_graphs_bit_identical(merged, reference)
+            graph = merged
+
+    def test_empty_delta_returns_self(self):
+        graph = generators.cycle(6)
+        assert graph.with_edges() is graph
+        assert graph.with_edges(added=[], removed=[]) is graph
+
+    def test_add_existing_and_remove_absent_are_noops(self):
+        graph = generators.cycle(6)
+        merged = graph.with_edges(added=[(0, 1)], removed=[(0, 3)])
+        assert_graphs_bit_identical(merged, graph)
+
+    def test_duplicate_edges_within_delta_collapse(self):
+        graph = generators.cycle(6)
+        merged = graph.with_edges(added=[(0, 2), (0, 2), (0, 2)])
+        reference = DiGraph(6, sorted(set(map(tuple, graph.edges())) | {(0, 2)}))
+        assert_graphs_bit_identical(merged, reference)
+
+    def test_original_graph_is_untouched(self):
+        graph = generators.cycle(6)
+        before = set(map(tuple, graph.edges()))
+        graph.with_edges(added=[(0, 2)], removed=[(0, 1)])
+        assert set(map(tuple, graph.edges())) == before
+
+
+class TestValidation:
+    def test_edge_in_both_added_and_removed_rejected(self):
+        graph = generators.cycle(6)
+        with pytest.raises(GraphFormatError):
+            graph.with_edges(added=[(0, 2)], removed=[(0, 2)])
+
+    def test_out_of_range_delta_edge_rejected(self):
+        graph = generators.cycle(6)
+        with pytest.raises(GraphFormatError):
+            graph.with_edges(added=[(0, 6)])
+        with pytest.raises(GraphFormatError):
+            graph.with_edges(removed=[(-1, 0)])
+
+    def test_malformed_delta_rejected(self):
+        graph = generators.cycle(6)
+        with pytest.raises(GraphFormatError):
+            graph.with_edges(added=[(0, 1, 2)])
+
+    def test_labels_are_shared(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)], labels=["a", "b", "c"])
+        merged = graph.with_edges(added=[(2, 0)])
+        assert merged.has_labels
+        assert merged.label_of(2) == "c"

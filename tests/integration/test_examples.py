@@ -69,6 +69,19 @@ class TestExampleScripts:
         assert "traffic replay complete" in result.stdout
         assert "cache_size=64" in result.stdout
 
+    def test_dynamic_graph(self):
+        result = run_example(
+            "dynamic_graph.py",
+            "--queries", "120",
+            "--communities", "3",
+            "--community-size", "8",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "dynamic graph tour complete" in result.stdout
+        assert "every post-mutation answer echoed the acked index_version" \
+            in result.stdout
+        assert "eps_stale=0.000" in result.stdout
+
     def test_accuracy_study(self):
         result = run_example(
             "accuracy_study.py", "--dataset", "GrQc", "--scale", "0.08", "--epsilon", "0.05"

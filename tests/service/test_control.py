@@ -62,7 +62,7 @@ class TestControlWire:
     def test_every_kind_is_registered(self):
         assert set(CONTROL_KINDS) == {
             "ping", "open_dataset", "close_dataset", "list_datasets",
-            "stats", "describe", "shutdown",
+            "stats", "describe", "mutate", "shutdown",
         }
 
     def test_describe_dataset_is_optional(self):

@@ -25,6 +25,7 @@ from repro.service import (
     Router,
     SimRankClient,
     SinglePairQuery,
+    SingleSourceQuery,
     WorkerPool,
 )
 
@@ -263,3 +264,122 @@ def test_cli_rejects_bad_pins(spec):
             )
     else:
         assert main(["router", "--workers", "1", "--pin", spec]) == 2
+
+
+class TestMutationRouting:
+    """``mutate`` requests forward to the owning shard, and the
+    ``index_version`` echo stays truthful under a mutation storm.
+
+    The invariant under concurrency: a response's stamp may trail the
+    served value's true version (a mutation raced the query) but must
+    never lead it — a pre-mutation cached vector stamped with the
+    post-mutation version would be indistinguishable from a fresh answer.
+    """
+
+    def test_mutation_storm_never_misstamps_cached_values(self):
+        pool, router = start_router(2, pins={"GrQc": 0, "AS": 1})
+        try:
+            client = SimRankClient(address=str(router.address))
+            client.open_dataset("GrQc")
+            client.open_dataset("AS")
+            sources = [1, 2, 3]
+
+            # canon[(source, version)] — measured with no mutation in
+            # flight, so the echo must be exact.
+            canon = {}
+            for source in sources:
+                result = client.execute(SingleSourceQuery("GrQc", source))
+                assert result.ok and result.index_version is None
+                canon[(source, 0)] = tuple(result.value)
+
+            records: list[list] = [[], []]
+            errors: list[object] = []
+            stop = threading.Event()
+
+            def hammer(slot: int) -> None:
+                try:
+                    mine = SimRankClient(address=str(router.address))
+                    while not stop.is_set():
+                        for source in sources:
+                            result = mine.execute(
+                                SingleSourceQuery("GrQc", source)
+                            )
+                            if not result.ok:
+                                errors.append(result.error)
+                                continue
+                            records[slot].append(
+                                (
+                                    source,
+                                    result.index_version or 0,
+                                    tuple(result.value),
+                                )
+                            )
+                    mine.close()
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(slot,))
+                for slot in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+
+            num_mutations = 3
+            try:
+                for step in range(1, num_mutations + 1):
+                    ack = client.mutate("GrQc", add=[(step, step + 10)])
+                    assert ack["index_version"] == step
+                    # Serialized checkpoint: no mutation in flight, so the
+                    # echo must be exactly the acked version.
+                    for source in sources:
+                        result = client.execute(
+                            SingleSourceQuery("GrQc", source)
+                        )
+                        assert result.ok
+                        assert result.index_version == step
+                        canon[(source, step)] = tuple(result.value)
+                    time.sleep(0.2)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=60)
+                    assert not thread.is_alive()
+
+            assert not errors, errors
+
+            for slot in range(2):
+                versions = [version for _, version, _ in records[slot]]
+                # Per-connection echoes never go backwards or ahead.
+                assert versions == sorted(versions)
+                assert all(0 <= v <= num_mutations for v in versions)
+                for source, version, value in records[slot]:
+                    current_or_newer = {
+                        canon[(source, v)]
+                        for v in range(version, num_mutations + 1)
+                    }
+                    older = {
+                        canon[(source, v)] for v in range(version)
+                    } - current_or_newer
+                    # A value matching only pre-stamp generations is a
+                    # stale cached vector passed off under a new version.
+                    assert value not in older, (source, version)
+
+            # The storm actually changed what the index serves.
+            assert any(
+                canon[(source, 0)] != canon[(source, num_mutations)]
+                for source in sources
+            )
+
+            # The other shard's dataset was never mutated: no stamp, and
+            # the router's merged stats report the mutated version only
+            # for the owning shard's dataset.
+            untouched = client.execute(SinglePairQuery("AS", 1, 2))
+            assert untouched.ok and untouched.index_version is None
+            stats = client.stats()
+            assert stats["datasets"]["GrQc"]["index_version"] == num_mutations
+            assert stats["datasets"]["AS"]["index_version"] == 0
+            assert client.describe()["datasets"] == ["GrQc", "AS"]
+            client.close()
+        finally:
+            router.stop()

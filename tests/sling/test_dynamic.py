@@ -1,0 +1,234 @@
+"""Unit tests for the dynamic SLING index: incremental mutation + re-freeze."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError, IndexNotBuiltError, ParameterError
+from repro.graphs import DiGraph, generators
+from repro.sling import DynamicSlingIndex, SlingIndex
+
+EPS = 0.05
+SEED = 13
+
+
+@pytest.fixture()
+def community_dynamic():
+    graph = generators.two_level_community(3, 10, seed=7)
+    return DynamicSlingIndex(graph, epsilon=EPS, seed=SEED).build()
+
+
+def rebuilt(graph, **kwargs):
+    """From-scratch plain SLING index on ``graph`` with the suite's recipe."""
+    kwargs.setdefault("epsilon", EPS)
+    kwargs.setdefault("seed", SEED)
+    return SlingIndex(graph, **kwargs).build()
+
+
+class TestLifecycle:
+    def test_query_before_build_raises(self):
+        index = DynamicSlingIndex(generators.cycle(5), epsilon=EPS)
+        assert not index.is_built
+        with pytest.raises(IndexNotBuiltError):
+            index.single_pair(0, 1)
+        with pytest.raises(IndexNotBuiltError):
+            index.mutate(added=[(0, 2)])
+        with pytest.raises(IndexNotBuiltError):
+            index.refreeze()
+
+    def test_build_opens_generation_zero(self, community_dynamic):
+        index = community_dynamic
+        assert index.is_built
+        assert index.version == 0
+        assert not index.is_dirty
+        assert index.staleness_bound() == 0.0
+        stats = index.statistics()
+        assert stats["index_version"] == 0
+        assert stats["dirty"] is False
+        assert stats["overlay_entries"] == 0
+        assert stats["mutations"] == 0
+
+    def test_build_is_idempotent(self, community_dynamic):
+        assert community_dynamic.build() is community_dynamic
+        assert community_dynamic.version == 0
+
+    def test_matches_plain_index_before_any_mutation(self, community_dynamic):
+        plain = rebuilt(community_dynamic.graph)
+        for node in (0, 7, 29):
+            assert np.array_equal(
+                community_dynamic.single_source(node), plain.single_source(node)
+            )
+
+
+class TestFromIndex:
+    def test_adopts_built_index_without_rebuilding(self):
+        graph = generators.two_level_community(2, 8, seed=3)
+        plain = rebuilt(graph)
+        dynamic = DynamicSlingIndex.from_index(plain)
+        assert dynamic.is_built
+        assert dynamic.version == 0
+        assert dynamic.packed_store is plain.packed_store
+        assert np.array_equal(dynamic.single_source(0), plain.single_source(0))
+
+    def test_rejects_reduce_space_and_enhance_accuracy(self):
+        graph = generators.two_level_community(2, 8, seed=3)
+        for flag in ("reduce_space", "enhance_accuracy"):
+            plain = SlingIndex(graph, epsilon=EPS, seed=SEED, **{flag: True}).build()
+            with pytest.raises(ParameterError):
+                DynamicSlingIndex.from_index(plain)
+
+
+class TestMutate:
+    def test_add_edge_bumps_version_and_certifies_staleness(self, community_dynamic):
+        index = community_dynamic
+        graph = index.graph
+        report = index.add_edges([(0, 17)])
+        assert report.edges_added == 1
+        assert report.edges_removed == 0
+        assert report.version == 1
+        assert report.epsilon_stale == pytest.approx(2 * EPS)
+        assert index.version == 1
+        assert index.is_dirty
+        assert index.staleness_bound() == pytest.approx(2 * EPS)
+        assert index.graph.num_edges == graph.num_edges + 1
+        assert index.graph.has_edge(0, 17)
+
+    def test_answers_stay_within_staleness_bound(self, community_dynamic):
+        index = community_dynamic
+        index.mutate(added=[(0, 17), (5, 23)], removed=[(1, 2)])
+        fresh = rebuilt(index.graph)
+        bound = index.staleness_bound()
+        for node in range(index.graph.num_nodes):
+            deviation = np.max(
+                np.abs(index.single_source(node) - fresh.single_source(node))
+            )
+            assert deviation <= bound
+
+    def test_unaffected_sources_answer_bitwise_identically(self):
+        # Two disconnected 8-cycles: mutating inside one component cannot
+        # implicate the other component's sources.
+        edges = [(u, (u + 1) % 8) for u in range(8)]
+        edges += [(8 + u, 8 + (u + 1) % 8) for u in range(8)]
+        index = DynamicSlingIndex(
+            DiGraph(16, edges), epsilon=EPS, seed=SEED
+        ).build()
+        before = {
+            node: index.single_source(node)
+            for node in range(index.graph.num_nodes)
+        }
+        report = index.add_edges([(0, 4)])
+        affected = set(report.affected_sources)
+        untouched = set(range(index.graph.num_nodes)) - affected
+        assert untouched, "mutation should not implicate every source here"
+        for node in untouched:
+            assert np.array_equal(index.single_source(node), before[node])
+
+    def test_noop_mutation_does_not_bump_version(self, community_dynamic):
+        index = community_dynamic
+        existing = next(iter(index.graph.edges()))
+        report = index.mutate(added=[tuple(existing)], removed=[(0, 17)])
+        assert report.edges_added == 0
+        assert report.edges_removed == 0
+        assert report.version == 0
+        assert not index.is_dirty
+        assert index.staleness_bound() == 0.0
+
+    def test_remove_then_readd_round_trips_through_refreeze(self, community_dynamic):
+        index = community_dynamic
+        edge = tuple(next(iter(index.graph.edges())))
+        index.remove_edges([edge])
+        assert not index.graph.has_edge(*edge)
+        index.add_edges([edge])
+        assert index.graph.has_edge(*edge)
+        assert index.version == 2
+        assert index.refreeze()
+        fresh = rebuilt(index.graph)
+        for node in (edge[0], edge[1], 0):
+            assert np.array_equal(index.single_source(node), fresh.single_source(node))
+
+    def test_edge_in_both_added_and_removed_rejected(self, community_dynamic):
+        with pytest.raises(GraphFormatError):
+            community_dynamic.mutate(added=[(0, 17)], removed=[(0, 17)])
+
+    def test_mutation_accepts_generators(self, community_dynamic):
+        report = community_dynamic.mutate(added=((u, u + 15) for u in (0, 1)))
+        assert report.edges_added == 2
+
+
+class TestRefreeze:
+    def test_refreeze_restores_bitwise_rebuild_parity(self, community_dynamic):
+        index = community_dynamic
+        index.mutate(added=[(0, 17), (3, 28)], removed=[(1, 2)])
+        assert index.refreeze()
+        assert not index.is_dirty
+        assert index.staleness_bound() == 0.0
+        assert index.version == 2  # one mutation batch + one re-freeze
+        fresh = rebuilt(index.graph)
+        assert np.array_equal(index.correction_factors, fresh.correction_factors)
+        for node in range(index.graph.num_nodes):
+            assert np.array_equal(index.single_source(node), fresh.single_source(node))
+            levels, targets, values = index.packed_store.node_entries(node)
+            f_levels, f_targets, f_values = fresh.packed_store.node_entries(node)
+            assert np.array_equal(levels, f_levels)
+            assert np.array_equal(targets, f_targets)
+            assert np.array_equal(values, f_values)
+
+    def test_refreeze_on_clean_index_is_noop(self, community_dynamic):
+        version = community_dynamic.version
+        # "True" means a clean generation is serving — trivially so here —
+        # and the no-op must not burn a version number.
+        assert community_dynamic.refreeze()
+        assert community_dynamic.version == version
+
+    def test_refreeze_async_compacts_in_background(self, community_dynamic):
+        index = community_dynamic
+        index.add_edges([(0, 17)])
+        thread = index.refreeze_async()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert not index.is_dirty
+        assert index.staleness_bound() == 0.0
+
+    def test_queries_remain_servable_during_staleness_window(self, community_dynamic):
+        index = community_dynamic
+        index.add_edges([(0, 17)])
+        value = index.single_pair(0, 17)
+        assert 0.0 <= value <= 1.0
+        ranking = index.top_k(0, 5)
+        assert 0 < len(ranking) <= 5
+        index.refreeze()
+        ranking_after = index.top_k(0, 5)
+        assert all(score >= 0.0 for _, score in ranking_after)
+
+
+class TestQuerySurface:
+    def test_single_source_methods_agree_within_epsilon(self, community_dynamic):
+        index = community_dynamic
+        index.add_edges([(0, 17)])
+        for node in (0, 17, 29):
+            push = index.single_source(node, method="local_push")
+            cascade = index.single_source(node, method="cascade")
+            assert np.abs(push - cascade).max() <= EPS
+
+    def test_unknown_method_rejected(self, community_dynamic):
+        with pytest.raises(ParameterError):
+            community_dynamic.single_source(0, method="magic")
+
+    def test_top_k_bounded_falls_back_while_dirty(self, community_dynamic):
+        index = community_dynamic
+        index.add_edges([(0, 17)])
+        assert index.top_k(0, 5, method="bounded", budget=64) == index.top_k(
+            0, 5, method="local_push"
+        )
+
+    def test_top_k_rejects_nonpositive_k(self, community_dynamic):
+        with pytest.raises(ParameterError):
+            community_dynamic.top_k(0, 0)
+
+    def test_size_accessors_positive(self, community_dynamic):
+        index = community_dynamic
+        index.add_edges([(0, 17)])
+        assert index.index_size_bytes() > 0
+        assert index.resident_bytes() > 0
+        assert index.average_set_size() > 0.0
