@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Serving resilience: what surviving faults costs, and how fast recovery is.
+
+Every other benchmark in this directory measures the happy path.  This one
+prices the unhappy one: the same seeded mutation-heavy traffic stream is
+driven through a real ``repro router`` worker pool twice —
+
+* ``fault_free`` — WAL-backed workers, no injected faults: the durability
+  baseline (every acked mutate is fsync'd before the ack, so this cell
+  already includes the WAL's cost);
+* ``under_faults`` — the identical storm, plus a ``SIGKILL`` fired into the
+  dataset's owning worker milliseconds into an in-flight ``mutate``.  The
+  retrying client rides through the restart; the cell records what that
+  does to throughput and tail latency.
+
+Both runs come from :func:`repro.evaluation.faults.run_storm`, which also
+evaluates the recovery invariants the numbers are only meaningful under:
+
+* ``no_lost_mutations`` — every client-acked ``mutation_id`` is in the
+  worker's WAL, and a fresh service recovered from that WAL answers the
+  storm's probe queries bitwise-close to the live re-frozen service;
+* ``typed_errors_only`` — nothing but documented, retryable error
+  envelopes surfaced during the storm;
+* ``no_hangs`` — every request resolved within its end-to-end deadline
+  budget plus transport slack.
+
+The ``recovery`` cell records the client-observed outage: from the kill to
+the first successful answer after a failure.  The recorded target is
+``under_faults`` p99 within ``--target`` (default 3x) of ``fault_free``
+p99 — crashing a worker mid-storm is allowed to hurt the tail, but not to
+melt it.
+
+Results are emitted as JSON on stdout::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke
+
+``benchmarks/record.py`` records the payload as ``BENCH_resilience.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.evaluation.faults import ChaosProfile, run_storm
+
+
+def run_benchmark(
+    *,
+    seed: int = 0,
+    workers: int = 2,
+    events: int = 240,
+    scale: float = 0.05,
+    epsilon: float = 0.05,
+    deadline_ms: float = 20000.0,
+    traffic_profile: str = "mutation-storm",
+    p99_target: float = 3.0,
+) -> dict:
+    profile = ChaosProfile(
+        seed=seed,
+        workers=workers,
+        events=events,
+        scale=scale,
+        epsilon=epsilon,
+        deadline_ms=deadline_ms,
+        traffic_profile=traffic_profile,
+        # The storm is the benchmark; the other drills live in `repro chaos`.
+        hostile_frames=False,
+        disk_full=False,
+        slow_shard=False,
+    )
+    baseline = run_storm(profile, inject_kill=False)
+    faulted = run_storm(profile, inject_kill=True)
+
+    def cell(report: dict) -> dict:
+        return {
+            "seconds": report["seconds"],
+            "queries_per_second": (
+                report["events"] / report["seconds"]
+                if report["seconds"] > 0
+                else 0.0
+            ),
+            "p50_ms": report["latency"]["p50_ms"],
+            "p99_ms": report["latency"]["p99_ms"],
+            "max_ms": report["latency"]["max_ms"],
+            "outcomes": report["outcomes"],
+        }
+
+    cells = {
+        "fault_free": cell(baseline),
+        "under_faults": cell(faulted),
+        "recovery": {
+            "seconds": faulted["recovery_seconds"] or 0.0,
+            "worker_restarts": sum(faulted["restarts"]),
+            "mutations_acked": faulted["mutations"]["acked"],
+            "mutations_deduplicated": faulted["mutations"]["deduplicated"],
+        },
+    }
+    baseline_p99 = max(cells["fault_free"]["p99_ms"], 1e-9)
+    p99_ratio = cells["under_faults"]["p99_ms"] / baseline_p99
+    targets = {"p99_under_faults_vs_fault_free": p99_target}
+    guards = {
+        "no_lost_mutations": bool(
+            baseline["no_lost_mutations"] and faulted["no_lost_mutations"]
+        ),
+        "typed_errors_only": (
+            baseline["unexpected_codes"] == []
+            and faulted["unexpected_codes"] == []
+        ),
+        "no_hangs": (
+            baseline["hang_violations"] == 0
+            and faulted["hang_violations"] == 0
+        ),
+        "all_mutations_acked": (
+            baseline["mutations"]["unacked"] == 0
+            and faulted["mutations"]["unacked"] == 0
+        ),
+        "worker_was_killed": bool(faulted["killed"]),
+        "recovery_observed": faulted["recovery_seconds"] is not None,
+    }
+    return {
+        "benchmark": "resilience",
+        "dataset": profile.dataset,
+        "workers": workers,
+        "events": events,
+        "seed": seed,
+        "traffic_profile": traffic_profile,
+        "cells": cells,
+        "p99_ratio": p99_ratio,
+        "targets": targets,
+        "meets_targets": {
+            "p99_under_faults_vs_fault_free": p99_ratio <= p99_target
+        },
+        "guards": guards,
+        "no_lost_mutations": guards["no_lost_mutations"],
+        "typed_errors_only": guards["typed_errors_only"],
+        "no_hangs": guards["no_hangs"],
+        "recovery_bounded": bool(
+            guards["recovery_observed"]
+            and cells["recovery"]["seconds"] <= deadline_ms / 1000.0
+        ),
+    }
+
+
+SMOKE_OVERRIDES = {
+    "events": 80,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--events", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--target", type=float, default=None,
+                        help="max allowed p99 ratio under faults (default 3x)")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small-scale run for CI: same payload shape, faster",
+    )
+    args = parser.parse_args(argv)
+    overrides: dict = dict(SMOKE_OVERRIDES) if args.smoke else {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.events is not None:
+        overrides["events"] = args.events
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.target is not None:
+        overrides["p99_target"] = args.target
+    payload = run_benchmark(**overrides)
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from pathlib import Path
 import bench_cache_traffic
 import bench_dynamic
 import bench_packed_query
+import bench_resilience
 import bench_serving
 import bench_single_source
 
@@ -189,6 +190,36 @@ RECORDED_BENCHMARKS = {
             "eps_stale_ok",
             "rebuild_parity_ok",
             "version_echo_ok",
+        ),
+    },
+    "resilience": {
+        "run": lambda smoke: bench_resilience.run_benchmark(
+            **(bench_resilience.SMOKE_OVERRIDES if smoke else {})
+        ),
+        "required_keys": (
+            "benchmark",
+            "dataset",
+            "workers",
+            "events",
+            "cells",
+            "p99_ratio",
+            "targets",
+            "meets_targets",
+            "guards",
+            "no_lost_mutations",
+            "typed_errors_only",
+            "no_hangs",
+            "recovery_bounded",
+        ),
+        "required_cells": ("fault_free", "under_faults", "recovery"),
+        # fault/fault-free cells carry latency percentiles; the recovery
+        # cell measures an outage — only wall-clock is shared.
+        "cell_fields": ("seconds",),
+        "required_true": (
+            "no_lost_mutations",
+            "typed_errors_only",
+            "no_hangs",
+            "recovery_bounded",
         ),
     },
 }

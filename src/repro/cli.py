@@ -60,7 +60,9 @@ from .engine import PAIR_AMORTIZE_THRESHOLD, BackendConfig, backend_names
 from .evaluation import experiments, reporting
 from .evaluation.experiments import MethodConfig
 from .evaluation.traffic import (
+    CHAOS_TRAFFIC_PROFILES,
     TrafficPattern,
+    chaos_pattern_overrides,
     generate_traffic,
     summarize_events,
 )
@@ -230,6 +232,16 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
         "sling/sling-disk sessions mmap a saved index from there instead of "
         "rebuilding, so many worker processes share one copy read-only",
     )
+    parser.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="journal every acknowledged mutate to DIR/<dataset>.wal "
+        "(fsync'd before the ack) and replay it when the dataset reopens — "
+        "acked mutations survive a crash/restart; re-freezes fold the log "
+        "into DIR/<dataset>.ckpt.json (default: mutations are in-memory "
+        "only)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -347,6 +359,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the opening hello frame (for strictly-v1 consumers)",
     )
+    serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="bound on requests queued or executing at once; submissions "
+        "past it are shed immediately with an 'overloaded' envelope "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--degrade-pending",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="when more than N requests are pending, answer exact "
+        "single_source queries via the approximate cascade path instead, "
+        "stamped degraded:true (default: never degrade)",
+    )
     serve_where = serve.add_mutually_exclusive_group()
     serve_where.add_argument(
         "--listen",
@@ -446,6 +476,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--refreeze-every", type=_nonnegative_int, default=0, metavar="N",
         help="every Nth mutation event also requests a re-freeze "
         "(default: 0 — never mid-stream)",
+    )
+    workload.add_argument(
+        "--deadline-ms", type=_positive_float, default=None, metavar="MS",
+        help="stamp every generated request with this end-to-end deadline "
+        "budget; servers shed requests still queued when it expires with "
+        "'deadline_exceeded' envelopes (default: no deadlines)",
+    )
+    workload.add_argument(
+        "--chaos-profile", choices=sorted(CHAOS_TRAFFIC_PROFILES),
+        default=None,
+        help="shape the stream for a named fault drill (mutation-heavy, "
+        "deadline-heavy, or mixed); the profile overrides the corresponding "
+        "shape flags, but an explicit --deadline-ms still wins",
     )
     workload.add_argument(
         "--output", default="-", metavar="FILE",
@@ -550,6 +593,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the workers' Unix sockets (default: a private "
         "temporary directory)",
     )
+    router.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap concurrently forwarded requests per worker; requests past "
+        "the cap are shed at the router with an 'overloaded' envelope "
+        "(default: unbounded)",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded fault-injection drill against a live router/worker "
+        "pool: worker SIGKILL mid-mutation, hostile frames, WAL disk-full, "
+        "slow shards — asserts no lost acked mutation, no hang past "
+        "deadline, typed errors only; prints a JSON report, exit 1 on any "
+        "invariant breach",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="fault/traffic seed")
+    chaos.add_argument(
+        "--workers", type=_positive_int, default=2, metavar="N",
+        help="worker processes behind the router (default: 2)",
+    )
+    chaos.add_argument(
+        "--events", type=_positive_int, default=120, metavar="N",
+        help="traffic events in the storm (default: 120)",
+    )
+    chaos.add_argument(
+        "--scale", type=_positive_float, default=0.05,
+        help="stand-in graph scale (default: 0.05 — chaos measures "
+        "resilience, not index build time)",
+    )
+    chaos.add_argument(
+        "--epsilon", type=_positive_float, default=0.05,
+        help="SLING accuracy target for workers and the recovery reference",
+    )
+    chaos.add_argument(
+        "--deadline-ms", type=_positive_float, default=20000.0, metavar="MS",
+        help="end-to-end budget per storm request (default: 20000; must "
+        "absorb a worker restart)",
+    )
+    chaos.add_argument(
+        "--traffic-profile", choices=sorted(CHAOS_TRAFFIC_PROFILES),
+        default="mixed-faults",
+        help="traffic shape for the storm (default: mixed-faults)",
+    )
+    chaos.add_argument(
+        "--no-kill", action="store_true",
+        help="skip the worker SIGKILL (fault-free baseline storm)",
+    )
+    chaos.add_argument(
+        "--no-hostile", action="store_true",
+        help="skip the hostile-frames drill",
+    )
+    chaos.add_argument(
+        "--no-disk-full", action="store_true",
+        help="skip the WAL disk-full drill",
+    )
+    chaos.add_argument(
+        "--no-slow-shard", action="store_true",
+        help="skip the slow-shard / overload-shedding drill",
+    )
+    chaos.add_argument(
+        "--no-wal", action="store_true",
+        help="run workers without a WAL (lossy storm; durability "
+        "invariants are skipped)",
+    )
 
     return parser
 
@@ -583,6 +693,7 @@ def _service(args: argparse.Namespace) -> SimRankService:
             cache_ttl_seconds=args.cache_ttl,
             pair_admission_threshold=admit,
             index_dir=args.index_dir,
+            wal_dir=args.wal_dir,
             scale=args.scale,
             seed=args.seed,
             backend_config=BackendConfig(
@@ -599,6 +710,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     # workload has no accuracy options — it never computes a score.
     if args.command == "workload":
         return _run_workload(args)
+
+    # chaos assembles its own ChaosProfile (no --mc-walks etc.).
+    if args.command == "chaos":
+        return _run_chaos(args)
 
     config = _config(args)
 
@@ -1151,7 +1266,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         except BaseException as exc:  # noqa: BLE001 - consumer already gone
             _report_output_failure("serve", exc, stdout_target=True)
             return 1
-    with ParallelExecutor(service, workers=args.workers) as executor:
+    with ParallelExecutor(
+        service,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        degrade_pending=args.degrade_pending,
+    ) as executor:
         ok_count, error_count, writer_errors = _pump_jsonl(
             executor, sys.stdin, sys.stdout, chunk_size=args.chunk_size
         )
@@ -1220,6 +1340,8 @@ def _run_serve_socket(args: argparse.Namespace) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             hello=not args.no_hello,
+            max_pending=args.max_pending,
+            degrade_pending=args.degrade_pending,
         )
     except OSError as exc:
         print(f"error: cannot listen on {address}: {exc}", file=sys.stderr)
@@ -1260,7 +1382,7 @@ def _run_workload(args: argparse.Namespace) -> int:
         for name in args.datasets
     }
     try:
-        pattern = TrafficPattern(
+        pattern_kwargs = dict(
             num_queries=args.queries,
             seed=args.seed,
             zipf_exponent=args.zipf,
@@ -1278,7 +1400,13 @@ def _run_workload(args: argparse.Namespace) -> int:
             mutation_fraction=args.mutations,
             mutation_batch=args.mutation_batch,
             mutation_refreeze_every=args.refreeze_every,
+            deadline_ms=args.deadline_ms,
         )
+        if args.chaos_profile is not None:
+            pattern_kwargs.update(chaos_pattern_overrides(args.chaos_profile))
+            if args.deadline_ms is not None:  # an explicit budget wins
+                pattern_kwargs["deadline_ms"] = args.deadline_ms
+        pattern = TrafficPattern(**pattern_kwargs)
         events = generate_traffic(node_counts, pattern)
     except ParameterError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1315,6 +1443,47 @@ def _run_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    """The ``chaos`` sub-command: the seeded fault-injection drill.
+
+    Builds a :class:`~repro.evaluation.faults.ChaosProfile` from the flags,
+    runs the full suite (storm with mid-mutation worker SIGKILL, hostile
+    frames, WAL disk-full, slow shard), prints the JSON report on stdout,
+    and exits 1 if any invariant — no lost acked mutation, no hang past
+    deadline, typed errors only — was breached.
+    """
+    from .evaluation.faults import ChaosProfile, run_chaos
+
+    try:
+        profile = ChaosProfile(
+            seed=args.seed,
+            workers=args.workers,
+            events=args.events,
+            scale=args.scale,
+            epsilon=args.epsilon,
+            deadline_ms=args.deadline_ms,
+            traffic_profile=args.traffic_profile,
+            kill_worker=not args.no_kill,
+            hostile_frames=not args.no_hostile,
+            disk_full=not args.no_disk_full,
+            slow_shard=not args.no_slow_shard,
+            wal=not args.no_wal,
+        )
+        report = run_chaos(profile)
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["ok"]:
+        failed = sorted(
+            name for name, held in report["invariants"].items() if not held
+        )
+        print(f"chaos: invariants breached: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("chaos: all invariants held", file=sys.stderr)
+    return 0
+
+
 def _run_router(args: argparse.Namespace) -> int:
     """The ``router`` sub-command: multi-process sharded serving.
 
@@ -1345,6 +1514,8 @@ def _run_router(args: argparse.Namespace) -> int:
         serve_args += ["--pair-admit-after", str(args.pair_admit_after)]
     if args.index_dir is not None:
         serve_args += ["--index-dir", args.index_dir]
+    if args.wal_dir is not None:
+        serve_args += ["--wal-dir", args.wal_dir]
     if args.chunk_size is not None:
         serve_args += ["--chunk-size", str(args.chunk_size)]
     pins: dict[str, int] = {}
@@ -1376,6 +1547,8 @@ def _run_router(args: argparse.Namespace) -> int:
             address=address,
             pins=pins,
             request_timeout=args.request_timeout,
+            max_inflight=args.max_inflight,
+            durable=args.wal_dir is not None,
         )
     except (OSError, ValueError) as exc:
         print(f"error: cannot listen on {address}: {exc}", file=sys.stderr)

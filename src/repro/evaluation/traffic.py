@@ -70,6 +70,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "TrafficPattern",
     "TrafficEvent",
+    "CHAOS_TRAFFIC_PROFILES",
+    "chaos_pattern_overrides",
     "generate_traffic",
     "events_to_jsonl",
     "summarize_events",
@@ -143,8 +145,16 @@ class TrafficPattern:
     #: Every Nth mutation event also requests a re-freeze (compaction back
     #: to a frozen store); 0 never re-freezes mid-stream.
     mutation_refreeze_every: int = 0
+    #: End-to-end deadline stamped on every emitted envelope, in
+    #: milliseconds; ``None`` (the default) emits byte-identical streams to
+    #: pre-deadline versions at the same seed.
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise ParameterError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
         if self.num_queries < 0:
             raise ParameterError(
                 f"num_queries must be >= 0, got {self.num_queries}"
@@ -228,6 +238,9 @@ class TrafficEvent:
     #: ``"burst"`` or ``"steady"`` — which arrival phase produced it.
     phase: str
     query: Query | ControlRequest
+    #: End-to-end deadline budget stamped on the envelope; ``None`` omits
+    #: the key entirely, keeping deadline-free streams byte-identical.
+    deadline_ms: float | None = None
 
     @property
     def kind(self) -> str:
@@ -241,7 +254,10 @@ class TrafficEvent:
 
     def to_wire(self) -> dict:
         """Protocol-v2 envelope: ready for ``repro batch`` / serve / router."""
-        return {"v": PROTOCOL_VERSION, "id": self.index, **self.query.to_wire()}
+        payload = {"v": PROTOCOL_VERSION, "id": self.index, **self.query.to_wire()}
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        return payload
 
 
 class _DatasetState:
@@ -331,6 +347,7 @@ def generate_traffic(
                     index=index,
                     phase="burst" if in_burst else "steady",
                     query=_draw_mutation(state, pattern, rng),
+                    deadline_ms=pattern.deadline_ms,
                 )
             )
             continue
@@ -356,9 +373,57 @@ def generate_traffic(
                 index=index,
                 phase="burst" if in_burst else "steady",
                 query=query,
+                deadline_ms=pattern.deadline_ms,
             )
         )
     return events
+
+
+#: Named traffic shapes for fault drills: each maps to the
+#: :class:`TrafficPattern` overrides that produce the stress in question.
+#: ``repro workload --chaos-profile NAME`` and the fault-injection harness
+#: resolve these through :func:`chaos_pattern_overrides`, so a profile name
+#: in a bug report pins the exact stream that provoked it.
+CHAOS_TRAFFIC_PROFILES: dict[str, dict] = {
+    # Write-heavy: every third event mutates, periodically re-freezing — the
+    # stream that exercises WAL append, checkpointing, and replay hardest.
+    "mutation-storm": {
+        "mutation_fraction": 0.34,
+        "mutation_batch": 2,
+        "mutation_refreeze_every": 8,
+    },
+    # Read bursts with tight deadlines: saturates queues so overload
+    # shedding and deadline propagation are what keep latency bounded.
+    "deadline-storm": {
+        "burst_every": 40,
+        "burst_length": 24,
+        "top_k_fraction": 0.3,
+        "single_source_fraction": 0.6,
+        "deadline_ms": 250.0,
+    },
+    # The mixed drill: moderate writes plus deadlines, the closest shape to
+    # the chaos harness's default end-to-end run.
+    "mixed-faults": {
+        "mutation_fraction": 0.15,
+        "mutation_refreeze_every": 10,
+        "deadline_ms": 1000.0,
+    },
+}
+
+
+def chaos_pattern_overrides(profile: str) -> dict:
+    """The :class:`TrafficPattern` overrides named by ``profile``.
+
+    Raises :class:`~repro.exceptions.ParameterError` for unknown names,
+    listing the valid ones (the CLI surfaces this message directly).
+    """
+    try:
+        return dict(CHAOS_TRAFFIC_PROFILES[profile])
+    except KeyError:
+        known = ", ".join(sorted(CHAOS_TRAFFIC_PROFILES))
+        raise ParameterError(
+            f"unknown chaos profile {profile!r}; expected one of: {known}"
+        ) from None
 
 
 def _draw_source(

@@ -48,7 +48,7 @@ strictly::
   with health-checked failover.
 """
 
-from .client import ServiceError, SimRankClient
+from .client import RetryPolicy, ServiceError, SimRankClient
 from .net import (
     DEFAULT_MAX_LINE_BYTES,
     Address,
@@ -74,7 +74,7 @@ from .control import (
     control_from_wire,
     request_from_wire,
 )
-from .mutations import apply_mutation, mutate_session
+from .mutations import apply_mutation, mutate_session, recover_session
 from .parallel import ParallelExecutor
 from .queries import (
     QUERY_KINDS,
@@ -87,15 +87,20 @@ from .queries import (
 )
 from .results import (
     ERROR_BAD_REQUEST,
+    ERROR_DEADLINE_EXCEEDED,
     ERROR_INTERNAL,
     ERROR_NODE_OUT_OF_RANGE,
+    ERROR_OVERLOADED,
+    ERROR_TIMEOUT,
     ERROR_UNAVAILABLE,
     ERROR_UNKNOWN_DATASET,
+    RETRYABLE_ERROR_CODES,
     QueryError,
     QueryResult,
     result_from_wire,
 )
 from .service import DatasetSession, ServiceConfig, SimRankService
+from .wal import FAIL_AFTER_ENV, MutationWAL
 from .wire import (
     PROTOCOL_VERSION,
     RequestEnvelope,
@@ -133,6 +138,9 @@ __all__ = [
     "request_from_wire",
     "apply_mutation",
     "mutate_session",
+    "recover_session",
+    "MutationWAL",
+    "FAIL_AFTER_ENV",
     "QueryError",
     "QueryResult",
     "result_from_wire",
@@ -141,6 +149,10 @@ __all__ = [
     "ERROR_NODE_OUT_OF_RANGE",
     "ERROR_INTERNAL",
     "ERROR_UNAVAILABLE",
+    "ERROR_OVERLOADED",
+    "ERROR_DEADLINE_EXCEEDED",
+    "ERROR_TIMEOUT",
+    "RETRYABLE_ERROR_CODES",
     "Address",
     "parse_address",
     "LineChannel",
@@ -156,6 +168,7 @@ __all__ = [
     "ParallelExecutor",
     "SimRankClient",
     "ServiceError",
+    "RetryPolicy",
     "PROTOCOL_VERSION",
     "RequestEnvelope",
     "encode_request",

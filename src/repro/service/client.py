@@ -42,11 +42,15 @@ from __future__ import annotations
 
 import json
 import os
+import random
+import socket
 import subprocess
 import sys
 import tempfile
 import threading
 import time
+import uuid
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
@@ -70,7 +74,12 @@ from .queries import (
     SingleSourceQuery,
     TopKQuery,
 )
-from .results import ERROR_UNAVAILABLE, QueryResult
+from .results import (
+    ERROR_TIMEOUT,
+    ERROR_UNAVAILABLE,
+    RETRYABLE_ERROR_CODES,
+    QueryResult,
+)
 from .service import ServiceConfig, SimRankService
 from .wire import (
     PROTOCOL_VERSION,
@@ -80,7 +89,56 @@ from .wire import (
     result_from_frames,
 )
 
-__all__ = ["ServiceError", "SimRankClient"]
+__all__ = ["RetryPolicy", "ServiceError", "SimRankClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry with exponential backoff and jitter.
+
+    Retrying is safe because queries are idempotent and ``mutate`` requests
+    carry a ``mutation_id`` the worker's WAL deduplicates — the client
+    auto-generates one when a retry policy is active, so a retried mutate
+    that actually landed the first time answers with the original ack.
+    Only the codes in :attr:`retry_codes` are retried: ``unavailable``
+    (worker died — the router restarts it), ``overloaded`` (shed — back
+    off), and ``timeout`` (the client's own read timeout).
+    """
+
+    #: Total attempts, the first included; 1 disables retrying.
+    max_attempts: int = 3
+    #: First backoff, in seconds; doubles each retry.
+    base_delay: float = 0.05
+    #: Backoff ceiling, in seconds.
+    max_delay: float = 2.0
+    #: Uniform jitter fraction added to each delay (0.5 = up to +50%),
+    #: de-synchronising retry storms from many clients.
+    jitter: float = 0.5
+    #: Error codes worth retrying.
+    retry_codes: frozenset = RETRYABLE_ERROR_CODES
+    #: Optional seed for reproducible jitter (the chaos harness pins one).
+    seed: int | None = None
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        object.__setattr__(self, "_rng", random.Random(self.seed))
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def should_retry(self, result: QueryResult, attempt: int) -> bool:
+        """Whether ``result`` (attempt ``attempt``, 1-based) warrants another."""
+        if result.ok or result.error is None:
+            return False
+        if attempt >= self.max_attempts:
+            return False
+        return result.error.code in self.retry_codes
 
 
 class ServiceError(ReproError):
@@ -325,28 +383,56 @@ class _SocketTransport:
         address: Address | str,
         *,
         connect_timeout: float = 30.0,
+        timeout: float | None = None,
         process: subprocess.Popen | None = None,
         run_dir: str | None = None,
     ) -> None:
         if isinstance(address, str):
             address = parse_address(address)
+        if timeout is not None and timeout <= 0:
+            raise ParameterError(f"timeout must be positive, got {timeout!r}")
         self._address = address
         self._process = process
         self._run_dir = run_dir
+        self._connect_timeout = connect_timeout
+        #: Per-request read timeout; ``None`` blocks forever (pre-PR-10
+        #: behaviour).  On expiry the request resolves to a ``timeout``
+        #: envelope and the channel is re-established — a late response on
+        #: the old connection would desynchronise the lockstep protocol.
+        self._timeout = timeout
         self._lock = threading.Lock()
         self._shut_down = False
+        self._channel = self._open_channel()
+
+    def _open_channel(self) -> LineChannel:
+        address = self._address
         try:
-            self._channel = LineChannel(address.connect(timeout=connect_timeout))
+            channel = LineChannel(
+                address.connect(timeout=self._connect_timeout)
+            )
         except OSError as exc:
             raise ServiceError(
                 QueryResult.failure(
                     "server_gone", f"could not connect to {address}: {exc}"
                 )
             ) from exc
+        self._channel = channel
+        # The hello read honours the connect budget: a server that accepts
+        # but never greets must not block forever either.
+        channel.settimeout(self._connect_timeout)
         try:
             self._hello = self._read_frame()
+        except socket.timeout:
+            channel.close()
+            raise ServiceError(
+                QueryResult.failure(
+                    ERROR_TIMEOUT,
+                    f"{address} accepted but sent no hello within "
+                    f"{self._connect_timeout:.0f}s",
+                )
+            ) from None
         except (_TransportGone, OSError):
-            self._channel.close()
+            channel.close()
             raise ServiceError(
                 QueryResult.failure(
                     "server_gone",
@@ -357,6 +443,8 @@ class _SocketTransport:
             raise WireFormatError(
                 f"expected a hello frame from {address}, got {self._hello!r}"
             )
+        channel.settimeout(self._timeout)
+        return channel
 
     @property
     def owns_service(self) -> bool:
@@ -392,6 +480,27 @@ class _SocketTransport:
                 frames = [self._read_frame()]
                 while frames[-1].get("frame") == "partial":
                     frames.append(self._read_frame())
+            except socket.timeout:
+                # No response within the read timeout.  The lockstep channel
+                # is now ambiguous (a late response could still arrive), so
+                # it is torn down and re-established before the next request;
+                # the caller gets a structured ``timeout`` envelope it may
+                # retry — never an indefinite hang.
+                self._channel.close()
+                try:
+                    self._open_channel()
+                except (ServiceError, WireFormatError):
+                    self._shut_down = True
+                    self._teardown()
+                kind = payload.get("kind")
+                dataset = payload.get("dataset")
+                return QueryResult.failure(
+                    ERROR_TIMEOUT,
+                    f"no response from {self._address} within "
+                    f"{self._timeout}s",
+                    kind=kind if isinstance(kind, str) else None,
+                    dataset=dataset if isinstance(dataset, str) else None,
+                )
             except (_TransportGone, OSError):
                 self._shut_down = True
                 self._teardown()
@@ -409,6 +518,25 @@ class _SocketTransport:
     @property
     def closed(self) -> bool:
         return self._shut_down
+
+    def reconnect(self) -> bool:
+        """Try to re-establish a torn-down connection to a *shared* server.
+
+        ``False`` when this transport owns a spawned child (its death is
+        final — there is nothing to reconnect to) or the endpoint is still
+        unreachable; ``True`` restores normal service.
+        """
+        with self._lock:
+            if not self._shut_down:
+                return True
+            if self._process is not None:
+                return False
+            try:
+                self._open_channel()
+            except (ServiceError, WireFormatError):
+                return False
+            self._shut_down = False
+            return True
 
     def _teardown(self) -> None:
         self._channel.close()
@@ -466,16 +594,30 @@ class SimRankClient:
         *,
         address: Address | str | None = None,
         connect_timeout: float = 30.0,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        deadline_ms: float | None = None,
     ) -> None:
         if (transport is None) == (address is None):
             raise ParameterError(
                 "pass exactly one of a transport or address="
             )
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ParameterError(
+                f"deadline_ms must be positive, got {deadline_ms!r}"
+            )
         if transport is None:
             # ``SimRankClient(address="host:port")`` — attach to a shared
             # socket server (or router); close() leaves the server running.
-            transport = _SocketTransport(address, connect_timeout=connect_timeout)
+            transport = _SocketTransport(
+                address, connect_timeout=connect_timeout, timeout=timeout
+            )
         self._transport = transport
+        #: Retry policy for retryable error envelopes; ``None`` disables.
+        self._retry = retry
+        #: Default end-to-end budget stamped on every request envelope as
+        #: ``deadline_ms``; a per-call value overrides it.
+        self._deadline_ms = deadline_ms
         self._next_id = 0
         self._id_lock = threading.Lock()
 
@@ -636,21 +778,69 @@ class SimRankClient:
         request: Query | ControlRequest,
         *,
         chunk_size: int | None = None,
+        deadline_ms: float | None = None,
     ) -> QueryResult:
         """Answer one typed request; returns the full result envelope.
 
         ``chunk_size`` asks the server to stream a large ``single_source``
         / ``all_pairs`` value as bounded frames; the client reassembles
         them, so the returned envelope's ``value`` is always complete.
+
+        ``deadline_ms`` (or the client-level default) stamps an end-to-end
+        budget on the envelope; hops along the way decrement it and shed
+        expired work with ``deadline_exceeded`` envelopes.  With a
+        :class:`RetryPolicy` configured, retryable error envelopes
+        (``unavailable`` / ``overloaded`` / ``timeout``) are retried with
+        exponential backoff — ``mutate`` only when it carries a
+        ``mutation_id``, which keeps retries idempotent.
         """
-        with self._id_lock:
-            request_id = self._next_id
-            self._next_id += 1
-        payload: dict = {"v": PROTOCOL_VERSION, "id": request_id}
-        if chunk_size is not None:
-            payload["chunk_size"] = chunk_size
-        payload.update(request.to_wire())
-        return self._transport.roundtrip(payload)
+        budget_ms = deadline_ms if deadline_ms is not None else self._deadline_ms
+        started = time.monotonic() if budget_ms is not None else None
+        retry = self._retry
+        if (
+            retry is not None
+            and isinstance(request, MutateRequest)
+            and request.mutation_id is None
+        ):
+            # A retried mutate without an idempotency token could apply
+            # twice; never retry those.
+            retry = None
+        attempt = 0
+        while True:
+            attempt += 1
+            with self._id_lock:
+                request_id = self._next_id
+                self._next_id += 1
+            payload: dict = {"v": PROTOCOL_VERSION, "id": request_id}
+            if chunk_size is not None:
+                payload["chunk_size"] = chunk_size
+            if budget_ms is not None:
+                remaining = budget_ms - (time.monotonic() - started) * 1000.0
+                if remaining <= 0:
+                    return QueryResult.failure(
+                        "deadline_exceeded",
+                        f"client-side deadline of {budget_ms:g}ms expired",
+                        kind=request.kind,
+                        dataset=getattr(request, "dataset", None),
+                    )
+                payload["deadline_ms"] = remaining
+            payload.update(request.to_wire())
+            result = self._transport.roundtrip(payload)
+            if retry is None or not retry.should_retry(result, attempt):
+                return result
+            delay = retry.delay(attempt)
+            if budget_ms is not None:
+                remaining = budget_ms - (time.monotonic() - started) * 1000.0
+                if remaining <= delay * 1000.0:
+                    return result  # no budget left for another attempt
+            time.sleep(delay)
+            if self._transport.closed:
+                # The connection itself died (not just one request): try to
+                # re-establish it — the router (or a restarted worker) may be
+                # listening again — else surface the last envelope.
+                reconnect = getattr(self._transport, "reconnect", None)
+                if reconnect is None or not reconnect():
+                    return result
 
     def _value(
         self,
@@ -721,19 +911,27 @@ class SimRankClient:
         add: Sequence[tuple[int, int]] = (),
         remove: Sequence[tuple[int, int]] = (),
         refreeze: bool = False,
+        mutation_id: str | None = None,
     ) -> dict:
         """Apply an edge delta to ``dataset``'s live index; returns the ack
         (``index_version``, ``epsilon_stale``, affected-set sizes, ...).
 
         ``refreeze=True`` compacts all outstanding deltas before the ack,
         restoring bitwise rebuild-parity answers (``epsilon_stale`` 0.0).
+
+        ``mutation_id`` is the idempotency token a WAL-backed worker
+        deduplicates retries by; with a :class:`RetryPolicy` configured one
+        is auto-generated, so a retried mutate can never apply twice.
         """
+        if mutation_id is None and self._retry is not None:
+            mutation_id = uuid.uuid4().hex
         return self._value(
             MutateRequest(
                 dataset=dataset,
                 add=tuple((int(u), int(v)) for u, v in add),
                 remove=tuple((int(u), int(v)) for u, v in remove),
                 refreeze=refreeze,
+                mutation_id=mutation_id,
             )
         )
 

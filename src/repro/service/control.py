@@ -182,6 +182,11 @@ class MutateRequest(ControlRequest):
     add: tuple = ()
     remove: tuple = ()
     refreeze: bool = False
+    #: Optional client-supplied idempotency token.  When the worker keeps a
+    #: WAL, a replayed ``mutation_id`` answers with the originally recorded
+    #: ack instead of applying the delta twice — which is what makes
+    #: retrying a timed-out ``mutate`` safe.
+    mutation_id: str | None = None
 
     def __post_init__(self) -> None:
         _check_dataset(self.dataset)
@@ -191,6 +196,12 @@ class MutateRequest(ControlRequest):
             raise ParameterError(
                 f"refreeze must be a boolean, got {self.refreeze!r}"
             )
+        if self.mutation_id is not None and (
+            not isinstance(self.mutation_id, str) or not self.mutation_id.strip()
+        ):
+            raise ParameterError(
+                f"mutation_id must be a non-empty string, got {self.mutation_id!r}"
+            )
 
     def to_wire(self) -> dict:
         payload = super().to_wire()
@@ -198,6 +209,9 @@ class MutateRequest(ControlRequest):
         # round-trips through json.loads to an equal dict.
         payload["add"] = [list(edge) for edge in self.add]
         payload["remove"] = [list(edge) for edge in self.remove]
+        # Omitted when unset so pre-PR-10 wire forms are byte-identical.
+        if self.mutation_id is None:
+            del payload["mutation_id"]
         return payload
 
 

@@ -44,11 +44,12 @@ from .results import (
     ERROR_BAD_REQUEST,
     ERROR_INTERNAL,
     ERROR_NODE_OUT_OF_RANGE,
+    ERROR_UNAVAILABLE,
     ERROR_UNKNOWN_DATASET,
     QueryResult,
 )
 
-__all__ = ["apply_mutation", "mutate_session"]
+__all__ = ["apply_mutation", "mutate_session", "recover_session"]
 
 #: Engine keys probed first when looking for a mutation-capable engine —
 #: the planner's pick and the explicit SLING pin are where one lives.
@@ -142,6 +143,35 @@ def mutate_session(session, added=(), removed=(), *, refreeze=False) -> dict:
     }
 
 
+def recover_session(session, wal) -> dict:
+    """Replay a WAL (checkpoint + tail) into a freshly opened session.
+
+    The checkpoint is applied as one ``refreeze=True`` mutation — its net
+    delta fully describes the compacted generation, and the re-freeze's
+    bitwise rebuild parity makes the result reproduce the frozen store the
+    crashed worker was serving.  The tail records then replay in append
+    order, restoring the overlay.  Post-recovery answers therefore match
+    the pre-crash dynamic index within the certified ``eps_stale`` bound.
+    """
+    replayed = 0
+    checkpoint = wal.checkpoint_payload
+    if checkpoint is not None:
+        added = [tuple(edge) for edge in checkpoint.get("added", ())]
+        removed = [tuple(edge) for edge in checkpoint.get("removed", ())]
+        if added or removed:
+            mutate_session(session, added, removed, refreeze=True)
+            replayed += 1
+    for record in wal.records:
+        mutate_session(
+            session,
+            [tuple(edge) for edge in record.get("add", ())],
+            [tuple(edge) for edge in record.get("remove", ())],
+            refreeze=bool(record.get("refreeze")),
+        )
+        replayed += 1
+    return {"replayed": replayed, "truncated_bytes": wal.truncated_bytes}
+
+
 def apply_mutation(service, request, start: float | None = None) -> QueryResult:
     """Execute one ``mutate`` control request against ``service``.
 
@@ -183,6 +213,59 @@ def apply_mutation(service, request, start: float | None = None) -> QueryResult:
             f"with {n} nodes: {described}",
         )
 
+    wal = service.wal_for(session.name) if hasattr(service, "wal_for") else None
+    mutation_id = getattr(request, "mutation_id", None)
+    if wal is not None and mutation_id is not None and wal.known(mutation_id):
+        # A retried mutate that was already acknowledged: answer with the
+        # originally recorded ack (or a minimal synthesised one when the
+        # record was folded into a checkpoint) without applying twice.
+        ack = wal.recorded_ack(mutation_id)
+        if ack is None:
+            ack = {
+                "dataset": session.name,
+                "index_version": session.index_version,
+                "backend": "sling",
+            }
+        ack = {**ack, "deduplicated": True}
+        return QueryResult.success(
+            kind=kind,
+            dataset=session.name,
+            value=ack,
+            backend=ack.get("backend", "sling"),
+            plan=None,
+            seconds=time.perf_counter() - start,
+            cache_hit=None,
+            index_version=ack.get("index_version"),
+        )
+
+    # Snapshot the *effective* delta before applying: adding a present edge
+    # or removing an absent one is a no-op, so the requested delta is
+    # neither the inverse (for rolling back a failed WAL append) nor safe
+    # to log — the checkpoint's net-delta cancellation is only exact when
+    # every logged add/remove really changed the graph.
+    applied_add: list | None = None
+    applied_remove: list | None = None
+    if wal is not None:
+        with session._lock:
+            graph = session._graph
+        state: dict = {}
+
+        def present(edge) -> bool:
+            if edge not in state:
+                state[edge] = graph.has_edge(*edge)
+            return state[edge]
+
+        applied_add = []
+        for edge in request.add:
+            if not present(edge):
+                applied_add.append(edge)
+                state[edge] = True
+        applied_remove = []
+        for edge in request.remove:
+            if present(edge):
+                applied_remove.append(edge)
+                state[edge] = False
+
     try:
         ack = mutate_session(
             session, request.add, request.remove, refreeze=request.refreeze
@@ -191,6 +274,36 @@ def apply_mutation(service, request, start: float | None = None) -> QueryResult:
         return fail(ERROR_BAD_REQUEST, str(exc))
     except Exception as exc:  # noqa: BLE001 - the boundary must not leak
         return fail(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
+
+    if wal is not None:
+        try:
+            wal.append(
+                add=applied_add,
+                remove=applied_remove,
+                refreeze=request.refreeze,
+                mutation_id=mutation_id,
+                ack=ack,
+            )
+        except OSError as exc:
+            # The ack must never outrun the log: undo the in-memory apply
+            # and answer a retryable error.  The client's view stays
+            # consistent — the mutation neither happened nor was recorded.
+            try:
+                mutate_session(session, applied_remove, applied_add)
+            except Exception:  # noqa: BLE001 - rollback is best-effort
+                pass
+            return fail(
+                ERROR_UNAVAILABLE,
+                f"mutation could not be made durable: {exc}",
+            )
+        if ack.get("refrozen"):
+            # The record is already durable; folding the log into a
+            # checkpoint is an optimisation, so its failure must not turn
+            # a successfully applied-and-logged mutation into an error.
+            try:
+                wal.checkpoint(version=ack["index_version"])
+            except OSError:
+                pass
 
     return QueryResult.success(
         kind=kind,

@@ -34,6 +34,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import json
+import math
 import os
 import socket
 import subprocess
@@ -47,7 +48,13 @@ from typing import Callable, Sequence
 
 from ...engine import merge_statistics_totals
 from ...exceptions import ParameterError
-from ..results import ERROR_BAD_REQUEST, ERROR_UNAVAILABLE, QueryResult
+from ..results import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_OVERLOADED,
+    ERROR_UNAVAILABLE,
+    QueryResult,
+)
 from ..wire import decode_envelope_line, encode_frame, response_frames
 from .channel import DEFAULT_MAX_LINE_BYTES, Address, LineChannel, OversizedLineError
 
@@ -173,6 +180,12 @@ class WorkerPool:
     def restart_counts(self) -> list[int]:
         """Restarts per worker so far (observability / tests)."""
         return [worker.restarts for worker in self._workers]
+
+    def worker_pid(self, index: int) -> int | None:
+        """The OS pid of worker ``index``'s current process (``None`` before
+        spawn) — the handle the fault-injection harness kills through."""
+        process = self._workers[index].process
+        return process.pid if process is not None else None
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -388,7 +401,21 @@ class Router:
         pins: dict[str, int] | None = None,
         request_timeout: float = 120.0,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        max_inflight: int | None = None,
+        durable: bool = False,
     ) -> None:
+        """``max_inflight`` caps concurrently forwarded requests *per
+        worker*: a request that would exceed it is shed at the router with an
+        ``overloaded`` envelope instead of queueing behind the worker
+        (``None`` keeps forwarding unbounded).  ``durable`` declares that the
+        workers persist mutations in a WAL (``--wal-dir``), so a restarted
+        worker's replayed datasets recover their mutations; without it the
+        router stamps such datasets ``recovered_without_mutations`` in merged
+        ``stats`` so clients can tell their acked writes were lost."""
+        if max_inflight is not None and max_inflight < 1:
+            raise ParameterError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
         self._pool = pool
         self._ring = HashRing(pool.count)
         self._pins = {
@@ -412,6 +439,16 @@ class Router:
         self._open: "OrderedDict[str, str]" = OrderedDict()
         self._state_lock = threading.Lock()
         self._rr = 0
+        self._max_inflight = max_inflight
+        self._inflight = [0] * pool.count
+        self._inflight_lock = threading.Lock()
+        self._durable = durable
+        #: lower-cased names of datasets with at least one acked mutate —
+        #: the ones whose state a non-durable worker restart actually loses.
+        self._mutated: set[str] = set()
+        #: lower-cased names replayed onto a restarted worker *without* WAL
+        #: recovery after acked mutations — flagged in merged ``stats``.
+        self._lossy_recovered: set[str] = set()
         self._stopping = threading.Event()
         self._stopped = threading.Event()
         self._accept_thread: threading.Thread | None = None
@@ -508,6 +545,31 @@ class Router:
     def _record_close(self, name: str) -> None:
         with self._state_lock:
             self._open.pop(name.lower(), None)
+            self._mutated.discard(name.lower())
+            self._lossy_recovered.discard(name.lower())
+
+    def _record_mutated(self, name: str) -> None:
+        with self._state_lock:
+            self._mutated.add(name.lower())
+            # Fresh acked mutations supersede the lossy-recovery flag: the
+            # client has a new, live baseline to reason from.
+            self._lossy_recovered.discard(name.lower())
+
+    def _acquire_slot(self, worker: int) -> bool:
+        """Claim an in-flight slot on ``worker``; ``False`` means shed."""
+        if self._max_inflight is None:
+            return True
+        with self._inflight_lock:
+            if self._inflight[worker] >= self._max_inflight:
+                return False
+            self._inflight[worker] += 1
+            return True
+
+    def _release_slot(self, worker: int) -> None:
+        if self._max_inflight is None:
+            return
+        with self._inflight_lock:
+            self._inflight[worker] -= 1
 
     def _open_datasets(self) -> list[str]:
         with self._state_lock:
@@ -519,10 +581,21 @@ class Router:
 
     def _replay_open_datasets(self, index: int) -> None:
         """Re-open a restarted worker's datasets so it is warm before the
-        next query lands (the pool calls this after a restart)."""
+        next query lands (the pool calls this after a restart).
+
+        With durable (WAL-backed) workers, re-opening a dataset replays its
+        mutation log, so the replacement answers within the certified
+        ``eps_stale`` of the crashed worker.  Without a WAL the replacement
+        serves the *pristine* dataset — any acked mutations are gone — so
+        such datasets are flagged ``recovered_without_mutations``."""
         for name in self._open_datasets():
             if self.shard_for(name) != index:
                 continue
+            if not self._durable:
+                with self._state_lock:
+                    if name.lower() in self._mutated:
+                        self._mutated.discard(name.lower())
+                        self._lossy_recovered.add(name.lower())
             try:
                 sock = self._pool.worker_address(index).connect(timeout=5.0)
             except OSError:
@@ -659,6 +732,7 @@ class _ClientSession:
     # ------------------------------------------------------------------ #
     def _route(self, line: str) -> bool:
         """Dispatch one request line; ``False`` when the client is gone."""
+        arrival = time.monotonic()
         try:
             payload = json.loads(line)
         except json.JSONDecodeError:
@@ -680,9 +754,34 @@ class _ClientSession:
         if kind == "describe" and dataset is None:
             return self._describe_service(line, payload)
         if isinstance(dataset, str) and dataset:
-            return self._forward_sharded(line, payload, dataset)
+            return self._forward_sharded(line, payload, dataset, arrival)
         # No routable dataset: let the envelope decoder shape the error.
         return self._answer_local(line)
+
+    def _restamp(
+        self, line: str, payload: dict, arrival: float
+    ) -> tuple[str, dict] | None:
+        """Charge router-side latency against the request's deadline budget.
+
+        A ``deadline_ms`` on the envelope is the *remaining* budget when the
+        hop received it, so before forwarding the router subtracts the time
+        the request spent here and re-encodes; the worker then sees only
+        what is genuinely left.  ``None`` means the budget is already spent —
+        the caller sheds locally with ``deadline_exceeded`` instead of
+        forwarding work whose answer nobody is waiting for."""
+        deadline_ms = payload.get("deadline_ms")
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or not math.isfinite(deadline_ms)
+            or deadline_ms <= 0
+        ):
+            return line, payload  # absent or malformed: the worker decides
+        remaining = deadline_ms - (time.monotonic() - arrival) * 1000.0
+        if remaining <= 0:
+            return None
+        payload = {**payload, "deadline_ms": remaining}
+        return encode_frame(payload), payload
 
     def _link(self, worker: int) -> LineChannel:
         link = self._links.get(worker)
@@ -737,18 +836,48 @@ class _ClientSession:
                 return _GONE
             return None
 
-    def _forward_sharded(self, line: str, payload: dict, dataset: str) -> bool:
+    def _forward_sharded(
+        self, line: str, payload: dict, dataset: str, arrival: float
+    ) -> bool:
         router = self._router
         worker = router.shard_for(dataset)
-        terminal = self._forward(worker, line, payload)
+        stamped = self._restamp(line, payload, arrival)
+        if stamped is None:
+            return self._answer(
+                QueryResult.failure(
+                    ERROR_DEADLINE_EXCEEDED,
+                    "deadline expired at the router before forwarding",
+                    kind=payload.get("kind") if isinstance(payload.get("kind"), str) else None,
+                    dataset=dataset,
+                ),
+                request_id=payload.get("id"),
+            )
+        line, payload = stamped
+        if not router._acquire_slot(worker):
+            return self._answer(
+                QueryResult.failure(
+                    ERROR_OVERLOADED,
+                    f"worker {worker} is at its in-flight cap "
+                    f"({router._max_inflight}); back off and retry",
+                    kind=payload.get("kind") if isinstance(payload.get("kind"), str) else None,
+                    dataset=dataset,
+                ),
+                request_id=payload.get("id"),
+            )
+        try:
+            terminal = self._forward(worker, line, payload)
+        finally:
+            router._release_slot(worker)
         if terminal is _GONE:
             return False
         if terminal is None:
             return True  # unavailable envelope already sent
         kind = payload.get("kind")
-        # Track open/close state on the cold paths only: control responses,
-        # and the first successful data-plane touch of a dataset.
-        if kind in ("open_dataset", "close_dataset") or not router._is_known_open(
+        # Track open/close/mutate state on the cold paths only: control
+        # responses, and the first successful data-plane touch of a dataset.
+        if kind in (
+            "open_dataset", "close_dataset", "mutate"
+        ) or not router._is_known_open(
             dataset
         ):
             try:
@@ -765,6 +894,8 @@ class _ClientSession:
                         opened = (frame.get("value") or {}).get("dataset", opened)
                     if isinstance(opened, str):
                         router._record_open(opened)
+                        if kind == "mutate":
+                            router._record_mutated(opened)
         return True
 
     # ------------------------------------------------------------------ #
@@ -845,6 +976,17 @@ class _ClientSession:
             per_dataset.update(value.get("datasets", {}))
         ordered = self._merge_dataset_lists([list(per_dataset)])
         datasets = {name: per_dataset[name] for name in ordered}
+        with self._router._state_lock:
+            lossy = set(self._router._lossy_recovered)
+        if lossy:
+            datasets = {
+                name: (
+                    {**detail, "recovered_without_mutations": True}
+                    if name.lower() in lossy
+                    else detail
+                )
+                for name, detail in datasets.items()
+            }
         engine_dicts = [
             engine_stats
             for detail in datasets.values()

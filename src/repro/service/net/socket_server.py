@@ -71,6 +71,13 @@ class SocketServer:
     max_line_bytes:
         Per-line inbound byte cap; oversized lines are answered with
         ``bad_request`` envelopes instead of growing the buffer unboundedly.
+    max_pending:
+        Bound on requests queued or executing across all connections;
+        submissions past it are shed with an ``overloaded`` envelope
+        (``None`` keeps the pre-PR-10 unbounded behaviour).
+    degrade_pending:
+        Pressure threshold at which exact ``single_source`` queries degrade
+        to the cascade path (stamped ``degraded: true``); ``None`` disables.
     """
 
     def __init__(
@@ -82,13 +89,20 @@ class SocketServer:
         chunk_size: int | None = None,
         hello: bool = True,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        max_pending: int | None = None,
+        degrade_pending: int | None = None,
     ) -> None:
         if max_line_bytes < 1024:
             raise ParameterError(
                 f"max_line_bytes must be >= 1024, got {max_line_bytes}"
             )
         self._service = service
-        self._executor = ParallelExecutor(service, workers=workers)
+        self._executor = ParallelExecutor(
+            service,
+            workers=workers,
+            max_pending=max_pending,
+            degrade_pending=degrade_pending,
+        )
         self._chunk_size = chunk_size
         self._hello = hello
         self._max_line_bytes = max_line_bytes
@@ -266,7 +280,9 @@ class _Connection:
                         self._server._service.execute_request(envelope.request)
                     )
                 else:
-                    future = self._server._executor.submit(envelope.request)
+                    # The whole envelope goes in so the executor sees the
+                    # request's deadline and can shed expired work.
+                    future = self._server._executor.submit(envelope)
                 if not self._offer((envelope, future)):
                     break
         except Exception:  # noqa: BLE001 - raced executor close at shutdown

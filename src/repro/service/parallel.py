@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
@@ -54,9 +55,15 @@ from .queries import (
     SingleSourceQuery,
     TopKQuery,
 )
-from .results import ERROR_BAD_REQUEST, ERROR_INTERNAL, QueryResult
+from .results import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    QueryResult,
+)
 from .service import SimRankService
-from .wire import decode_envelope
+from .wire import RequestEnvelope, decode_envelope
 
 __all__ = ["ParallelExecutor"]
 
@@ -111,6 +118,8 @@ class ParallelExecutor:
         *,
         workers: int | None = None,
         backend: str | None = None,
+        max_pending: int | None = None,
+        degrade_pending: int | None = None,
     ) -> None:
         self._service = service
         self._workers = resolve_worker_count(workers)
@@ -118,6 +127,24 @@ class ParallelExecutor:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        if max_pending is not None and max_pending < 1:
+            raise ParameterError(
+                f"max_pending must be a positive int, got {max_pending!r}"
+            )
+        if degrade_pending is not None and degrade_pending < 1:
+            raise ParameterError(
+                f"degrade_pending must be a positive int, got {degrade_pending!r}"
+            )
+        #: Load-shedding bound on streaming submissions: once this many
+        #: requests are queued or executing, :meth:`submit` answers
+        #: ``overloaded`` immediately instead of growing the queue.
+        self._max_pending = max_pending
+        #: Pressure threshold for graceful degradation: at or above this
+        #: many pending requests, exact ``single_source`` queries are
+        #: answered via the cascade path and stamped ``degraded: true``.
+        self._degrade_pending = degrade_pending
+        self._pending = 0
+        self._pending_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -174,27 +201,54 @@ class ParallelExecutor:
         — ``close_dataset`` twice must close twice).
         """
         try:
+            deadline = None
+            if isinstance(request, RequestEnvelope):
+                deadline = request.deadline
+                request = request.request
             if isinstance(request, QueryResult):
                 return request
-            if isinstance(request, ControlRequest):
-                return self._service.execute_control(request)
-            if not isinstance(request, Query):
+            if not isinstance(request, (Query, ControlRequest)):
                 # Decode wire payloads up front (rather than delegating to
                 # execute_wire) so deduplication and a pinned backend apply
                 # to the JSONL path — the only path the CLI uses — too.
                 # The envelope decoder accepts v2 keys and control kinds.
-                request = decode_envelope(request).request
+                envelope = decode_envelope(request)
+                if deadline is None:
+                    deadline = envelope.deadline
+                request = envelope.request
                 if isinstance(request, QueryResult):
                     return request
-                if isinstance(request, ControlRequest):
-                    return self._service.execute_control(request)
-            key = _dedupe_key(request, self._backend)
+            if deadline is not None and time.monotonic() >= deadline:
+                # The budget ran out while this request sat in the queue:
+                # computing the answer now would only waste a worker on a
+                # response nobody is waiting for.
+                return QueryResult.failure(
+                    ERROR_DEADLINE_EXCEEDED,
+                    "deadline expired before execution started",
+                    kind=getattr(request, "kind", None),
+                    dataset=getattr(request, "dataset", None),
+                )
+            if isinstance(request, ControlRequest):
+                return self._service.execute_control(request)
+            degrade = (
+                self._degrade_pending is not None
+                and self._pending >= self._degrade_pending
+            )
+            key = None if degrade else _dedupe_key(request, self._backend)
             if shared is not None and key is not None:
                 result = shared.get(key)
                 if result is None:
                     result = self._service.execute(request, backend=self._backend)
                     shared[key] = result
                 return result
+            if degrade:
+                return self._service.execute(
+                    request, backend=self._backend, degrade=True
+                )
+            # Only pass the degrade keyword when degrading: callers are
+            # allowed to wrap ``execute`` with the narrower pre-overload
+            # signature (the health-probe tests do), and the kwarg would
+            # break them for no behavioural difference.
             return self._service.execute(request, backend=self._backend)
         except ReproError as exc:  # defensive: the service should not raise
             return QueryResult.failure(ERROR_BAD_REQUEST, str(exc))
@@ -287,14 +341,73 @@ class ParallelExecutor:
     # ------------------------------------------------------------------ #
     # Streaming execution (the serve loop)
     # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Requests submitted via :meth:`submit` and not yet completed."""
+        return self._pending
+
+    def _release_slot(self, _future: "Future[QueryResult]") -> None:
+        with self._pending_lock:
+            self._pending -= 1
+
+    @staticmethod
+    def _is_exempt(request: object) -> bool:
+        """Control requests that must never be shed: health probes (the
+        router's liveness signal) and shutdown (a wedged-full server must
+        still be stoppable)."""
+        inner = request.request if isinstance(request, RequestEnvelope) else request
+        return isinstance(inner, ControlRequest) and inner.kind in (
+            "ping", "shutdown"
+        )
+
     def submit(self, request: Query | ControlRequest | object) -> "Future[QueryResult]":
         """Schedule one request on the pool; the future never raises.
 
-        The streaming interface: callers (``repro serve``) keep a FIFO of
-        futures and write each result as its turn comes, giving ordered
-        responses with up to ``workers`` requests in flight.
+        The streaming interface: callers (``repro serve``,
+        :class:`~repro.service.net.SocketServer`) keep a FIFO of futures and
+        write each result as its turn comes, giving ordered responses with
+        up to ``workers`` requests in flight.  ``request`` may also be a
+        decoded :class:`~repro.service.wire.RequestEnvelope`, which carries
+        the request's deadline into the pool.
+
+        With ``max_pending`` set, a submission past the bound resolves
+        immediately to an ``overloaded`` envelope — explicit load shedding
+        instead of an unbounded queue.
         """
-        return self._ensure_pool().submit(self._execute_one, request)
+        pool = self._ensure_pool()
+        tracked = (
+            self._max_pending is not None or self._degrade_pending is not None
+        )
+        if not tracked or self._is_exempt(request):
+            return pool.submit(self._execute_one, request)
+        with self._pending_lock:
+            if (
+                self._max_pending is not None
+                and self._pending >= self._max_pending
+            ):
+                shed = True
+            else:
+                shed = False
+                self._pending += 1
+        if shed:
+            inner = (
+                request.request
+                if isinstance(request, RequestEnvelope)
+                else request
+            )
+            failure = QueryResult.failure(
+                ERROR_OVERLOADED,
+                f"server at capacity ({self._max_pending} requests pending); "
+                "back off and retry",
+                kind=getattr(inner, "kind", None),
+                dataset=getattr(inner, "dataset", None),
+            )
+            future: Future[QueryResult] = Future()
+            future.set_result(failure)
+            return future
+        future = pool.submit(self._execute_one, request)
+        future.add_done_callback(self._release_slot)
+        return future
 
     def submit_line(self, line: str) -> "Future[QueryResult]":
         """Schedule one JSONL request line; undecodable lines resolve to

@@ -29,6 +29,10 @@ __all__ = [
     "ERROR_NODE_OUT_OF_RANGE",
     "ERROR_INTERNAL",
     "ERROR_UNAVAILABLE",
+    "ERROR_OVERLOADED",
+    "ERROR_DEADLINE_EXCEEDED",
+    "ERROR_TIMEOUT",
+    "RETRYABLE_ERROR_CODES",
     "QueryError",
     "QueryResult",
     "result_from_wire",
@@ -45,6 +49,21 @@ ERROR_INTERNAL = "internal_error"
 #: The transport or a worker process died before answering; the request may
 #: be retried once the server (or the router's replacement worker) is back.
 ERROR_UNAVAILABLE = "unavailable"
+#: The server shed the request because its bounded queue (or the router's
+#: per-worker in-flight cap) was full.  Retry after backing off.
+ERROR_OVERLOADED = "overloaded"
+#: The request's ``deadline_ms`` budget expired before a worker could
+#: (finish) computing it; the answer would have been dead on arrival.
+ERROR_DEADLINE_EXCEEDED = "deadline_exceeded"
+#: The client-side read timeout elapsed with no response frame; emitted by
+#: the client itself (the connection is re-established before reuse).
+ERROR_TIMEOUT = "timeout"
+
+#: Codes a client may safely retry: queries are idempotent, and ``mutate``
+#: retries are deduplicated by ``mutation_id`` in the worker's WAL.
+RETRYABLE_ERROR_CODES = frozenset(
+    {ERROR_UNAVAILABLE, ERROR_OVERLOADED, ERROR_TIMEOUT}
+)
 
 
 @dataclass(frozen=True)
@@ -83,6 +102,10 @@ class QueryResult:
     #: unchanged).  Lets a client assert an answer reflects at least the
     #: version a mutation ack reported.
     index_version: int | None = None
+    #: ``True`` when overload shedding answered with the bounded/cascade
+    #: path instead of the requested exact method; the value is still within
+    #: the engine's certified accuracy, just computed the cheaper way.
+    degraded: bool = False
     error: QueryError | None = None
 
     @classmethod
@@ -97,6 +120,7 @@ class QueryResult:
         seconds: float,
         cache_hit: bool | None,
         index_version: int | None = None,
+        degraded: bool = False,
     ) -> "QueryResult":
         """A successful envelope; ``value`` must already be JSON-able.
 
@@ -117,6 +141,7 @@ class QueryResult:
             "seconds": seconds,
             "cache_hit": cache_hit,
             "index_version": index_version,
+            "degraded": degraded,
             "error": None,
         })
         return self
@@ -175,6 +200,8 @@ class QueryResult:
             payload["cache_hit"] = self.cache_hit
             if self.index_version is not None:
                 payload["index_version"] = self.index_version
+            if self.degraded:
+                payload["degraded"] = True
         else:
             assert self.error is not None
             payload["error"] = self.error.to_wire()
@@ -207,6 +234,7 @@ def result_from_wire(payload: object) -> QueryResult:
             plan=payload.get("plan"),
             cache_hit=payload.get("cache_hit"),
             index_version=int(version) if version is not None else None,
+            degraded=bool(payload.get("degraded", False)),
             **common,
         )
     error = payload.get("error")

@@ -28,6 +28,7 @@ explicitly — including over caller-supplied graphs::
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -102,6 +103,12 @@ class ServiceConfig:
     #: vector is admitted to the cache; ``None`` disables cross-kind
     #: admission (forwarded to every engine).
     pair_admission_threshold: int | None = PAIR_AMORTIZE_THRESHOLD
+    #: Directory for per-dataset mutation write-ahead logs.  When set, every
+    #: acknowledged ``mutate`` is fsync'd to ``<wal_dir>/<dataset>.wal``
+    #: before the ack, and (re)opening a dataset replays checkpoint + tail
+    #: so a restarted worker serves the pre-crash dynamic index (see
+    #: :mod:`repro.service.wal`).  ``None`` keeps mutations memory-only.
+    wal_dir: str | None = None
     #: Accuracy / seed knobs forwarded to backend construction.
     backend_config: BackendConfig = field(default_factory=BackendConfig)
 
@@ -314,6 +321,17 @@ class SimRankService:
         #: traffic ("grqc" for "GrQc") on the lock-free execute fast path
         #: instead of paying the RLock + registry scan on every query.
         self._canonical_memo: dict[str, str] = {}
+        #: Session key -> its open :class:`~repro.service.wal.MutationWAL`
+        #: (only when :attr:`ServiceConfig.wal_dir` is set).
+        self._wals: dict[str, object] = {}
+        # Chaos-harness knob: a per-query stall, in milliseconds, simulating
+        # a slow shard.  Read once at construction so a worker subprocess is
+        # armed by its environment; the control plane (ping) is unaffected,
+        # keeping the router's health checks honest.
+        try:
+            self._slow_query_ms = float(os.environ.get("REPRO_FAULT_SLOW_MS", 0))
+        except ValueError:
+            self._slow_query_ms = 0.0
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
@@ -390,6 +408,16 @@ class SimRankService:
             session = DatasetSession(key, graph, self._config)
             self._sessions[key] = session
             self._apply_cache_budget()
+            if self._config.wal_dir is not None:
+                from .mutations import recover_session
+                from .wal import MutationWAL
+
+                wal = MutationWAL(self._config.wal_dir, key)
+                self._wals[key] = wal
+                if wal.has_history():
+                    # Replay checkpoint + tail so the fresh session serves
+                    # the pre-crash dynamic index, not the base graph.
+                    recover_session(session, wal)
             return session
 
     def close_dataset(self, name: str) -> bool:
@@ -400,6 +428,9 @@ class SimRankService:
             if closed:
                 self._drop_memo_for(key)
                 self._apply_cache_budget()
+                wal = self._wals.pop(key, None)
+                if wal is not None:
+                    wal.close()
             return closed
 
     def _apply_cache_budget(self) -> None:
@@ -429,6 +460,15 @@ class SimRankService:
         with self._lock:
             self._sessions.clear()
             self._canonical_memo.clear()
+            for wal in self._wals.values():
+                wal.close()
+            self._wals.clear()
+
+    def wal_for(self, name: str):
+        """The open WAL for ``name``'s session, or ``None`` (no ``wal_dir``,
+        or the session is not open)."""
+        with self._lock:
+            return self._wals.get(self._canonical(name))
 
     def list_datasets(self) -> list[str]:
         """Names of the open sessions, in opening order."""
@@ -447,6 +487,9 @@ class SimRankService:
         engine_dicts: list[dict] = []
         for name, session in sessions:
             detail = session.statistics()
+            wal = self._wals.get(name)
+            if wal is not None:
+                detail["wal"] = wal.stats()
             per_dataset[name] = detail
             engine_dicts.extend(detail["engines"].values())
         # One definition of "service-wide totals", shared with the router's
@@ -459,15 +502,26 @@ class SimRankService:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def execute(self, query: Query, *, backend: str | None = None) -> QueryResult:
+    def execute(
+        self,
+        query: Query,
+        *,
+        backend: str | None = None,
+        degrade: bool = False,
+    ) -> QueryResult:
         """Answer one typed query; every failure is an error envelope.
 
         ``seconds`` on the envelope is the service-observed latency — on the
         first query of a session that includes the lazy graph load and index
-        build.
+        build.  With ``degrade=True`` (the executor's overload-pressure
+        signal) an exact ``single_source`` is answered via the cheaper
+        cascade kernel when the backend supports it, and the envelope is
+        stamped ``degraded: true``.
         """
         start = time.perf_counter()
         kind, dataset = query.kind, query.dataset
+        if self._slow_query_ms > 0:
+            time.sleep(self._slow_query_ms / 1000.0)
 
         # Steady-state fast path: the session exists and its engine is memoized,
         # so reaching the engine costs two dict lookups.  Case-variant
@@ -515,6 +569,7 @@ class SimRankService:
         # staleness.
         version = session.index_version
         cache_hit: bool | None
+        degraded = False
         try:
             if kind == "single_pair":
                 if query.node_u >= n or query.node_v >= n:
@@ -523,7 +578,21 @@ class SimRankService:
             elif kind == "single_source":
                 if query.node >= n:
                     return self._out_of_range(query, session, start)
-                value = engine.single_source(query.node).tolist()
+                if degrade:
+                    try:
+                        # Shed the exact path under pressure: the cascade
+                        # kernel answers within the backend's certified
+                        # accuracy at a fraction of the cost.  Bypasses the
+                        # engine cache, so no hit attribution.
+                        value = engine.backend.single_source(
+                            query.node, method="cascade"
+                        ).tolist()
+                        degraded = True
+                    except TypeError:
+                        # Backend without a method switch: no cheaper path.
+                        value = engine.single_source(query.node).tolist()
+                else:
+                    value = engine.single_source(query.node).tolist()
             elif kind == "top_k":
                 if query.node >= n:
                     return self._out_of_range(query, session, start)
@@ -553,7 +622,7 @@ class SimRankService:
         # Attributed per calling thread — under concurrent execution the
         # aggregate counters interleave, so a counter delta would claim other
         # threads' hits as this request's.
-        if kind == "all_pairs":
+        if kind == "all_pairs" or degraded:
             cache_hit = None
         else:
             record = engine.last_query_record
@@ -570,6 +639,7 @@ class SimRankService:
             seconds=time.perf_counter() - start,
             cache_hit=cache_hit,
             index_version=version if version > 0 else None,
+            degraded=degraded,
         )
 
     @staticmethod
@@ -646,6 +716,7 @@ class SimRankService:
                         self._config.pair_admission_threshold
                     ),
                     "index_dir": self._config.index_dir,
+                    "wal_dir": self._config.wal_dir,
                     "scale": self._config.scale,
                     "seed": self._config.seed,
                     "allow_index_build": self._config.allow_index_build,
@@ -741,6 +812,7 @@ class SimRankService:
         request: Query | ControlRequest | QueryResult,
         *,
         backend: str | None = None,
+        degrade: bool = False,
     ) -> QueryResult:
         """Answer a typed request from either plane (the union dispatch).
 
@@ -751,7 +823,7 @@ class SimRankService:
             return request
         if isinstance(request, ControlRequest):
             return self.execute_control(request)
-        return self.execute(request, backend=backend)
+        return self.execute(request, backend=backend, degrade=degrade)
 
     def execute_wire(self, payload: object) -> QueryResult:
         """Decode one wire dict and execute it; decoding failures become

@@ -49,6 +49,8 @@ dataclasses (:func:`~repro.service.queries.query_from_wire`,
 from __future__ import annotations
 
 import json
+import math
+import time
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -81,7 +83,7 @@ PROTOCOL_VERSION = 2
 _SEPARATORS = (",", ":")
 
 #: Request-envelope keys, stripped before the body is decoded.
-ENVELOPE_KEYS = frozenset({"v", "id", "chunk_size"})
+ENVELOPE_KEYS = frozenset({"v", "id", "chunk_size", "deadline_ms"})
 
 #: Result kinds whose list values may be chunked into ``partial`` frames.
 CHUNKABLE_KINDS = frozenset({"single_source", "all_pairs"})
@@ -160,6 +162,22 @@ class RequestEnvelope:
     id: int | str | None = None
     chunk_size: int | None = None
     v: int = PROTOCOL_VERSION
+    #: Remaining end-to-end budget in milliseconds, as written on the wire.
+    #: ``None`` means "no deadline" — the pre-PR-10 behaviour.  Each hop
+    #: (router, worker) re-measures elapsed time against :attr:`deadline`
+    #: and either decrements the budget before forwarding or sheds the
+    #: request with a ``deadline_exceeded`` envelope.
+    deadline_ms: float | None = None
+    #: Process-local absolute deadline on the ``time.monotonic()`` clock,
+    #: computed at decode time.  Never crosses the wire (monotonic clocks
+    #: are per-process); ``None`` when no deadline was requested.
+    deadline: float | None = None
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the deadline has already passed (``False`` when unset)."""
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline
 
 
 def decode_envelope(payload: object) -> RequestEnvelope:
@@ -214,6 +232,14 @@ def decode_envelope(payload: object) -> RequestEnvelope:
         or chunk_size < 1
     ):
         return fail(f"chunk_size must be a positive int, got {chunk_size!r}")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None and (
+        isinstance(deadline_ms, bool)
+        or not isinstance(deadline_ms, (int, float))
+        or not math.isfinite(deadline_ms)
+        or deadline_ms <= 0
+    ):
+        return fail(f"deadline_ms must be a positive number, got {deadline_ms!r}")
 
     body = {key: value for key, value in payload.items() if key not in ENVELOPE_KEYS}
     try:
@@ -221,7 +247,16 @@ def decode_envelope(payload: object) -> RequestEnvelope:
     except (WireFormatError, ParameterError) as exc:
         request = _decode_failure(body, exc)
     return RequestEnvelope(
-        request=request, id=request_id, chunk_size=chunk_size, v=version
+        request=request,
+        id=request_id,
+        chunk_size=chunk_size,
+        v=version,
+        deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
+        deadline=(
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        ),
     )
 
 

@@ -1,0 +1,48 @@
+"""Fault-injection harness: profile validation and the in-process drill.
+
+The full storm (worker SIGKILL, hostile frames, slow shard) spawns real
+worker processes and runs in CI's dedicated ``chaos-smoke`` job via
+``repro chaos``; here the tier-1 suite covers what is cheap to pin — the
+profile's parameter validation and the disk-full drill, which runs
+entirely in-process and asserts the WAL's containment contract end to
+end (typed retryable error, rollback, same-id retry, recovery).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.faults import ChaosProfile, run_disk_full
+from repro.exceptions import ParameterError
+
+
+class TestChaosProfile:
+    def test_defaults_are_valid(self):
+        profile = ChaosProfile()
+        assert profile.wal is True
+        assert profile.kill_worker is True
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"events": 0},
+            {"workers": 0},
+            {"deadline_ms": 0.0},
+            {"slow_deadline_ms": -1.0},
+        ],
+    )
+    def test_invalid_knobs_are_rejected(self, overrides):
+        with pytest.raises(ParameterError):
+            ChaosProfile(**overrides)
+
+
+class TestDiskFullDrill:
+    def test_disk_full_is_contained_and_recoverable(self):
+        report = run_disk_full(ChaosProfile(scale=0.02, epsilon=0.1))
+        assert report["ok"], report
+        assert report["disk_full_code"] == "unavailable"
+        assert report["disk_full_retryable"] is True
+        assert report["reads_survive"] is True
+        assert report["rollback_drift"] <= 1e-6
+        assert report["retry_after_space_ok"] is True
+        assert report["recovered_ids"] == ["df-1", "df-2"]

@@ -1,0 +1,95 @@
+"""Traffic deadlines and chaos profiles: stamping, stability, validation.
+
+``TrafficPattern.deadline_ms`` must stamp every emitted envelope without
+perturbing the stream itself — a deadline-free pattern at the same seed
+generates the identical event sequence, so pre-PR-10 recorded workloads
+replay byte-for-byte.  The named chaos profiles resolve to pattern
+overrides and reject unknown names with the valid ones listed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.traffic import (
+    CHAOS_TRAFFIC_PROFILES,
+    TrafficPattern,
+    chaos_pattern_overrides,
+    events_to_jsonl,
+    generate_traffic,
+)
+from repro.exceptions import ParameterError
+
+DATASETS = {"toy": 30}
+
+
+def events(**overrides):
+    return generate_traffic(
+        DATASETS, TrafficPattern(num_queries=40, seed=5, **overrides)
+    )
+
+
+class TestDeadlineStamping:
+    def test_deadline_stamps_every_envelope(self):
+        stamped = events(deadline_ms=250.0, mutation_fraction=0.2)
+        assert stamped
+        for event in stamped:
+            assert event.deadline_ms == 250.0
+            assert event.to_wire()["deadline_ms"] == 250.0
+
+    def test_no_deadline_omits_the_key_entirely(self):
+        for event in events():
+            assert event.deadline_ms is None
+            assert "deadline_ms" not in event.to_wire()
+
+    def test_deadline_does_not_perturb_the_stream(self):
+        # Same seed, with and without a deadline: identical events apart
+        # from the stamp — the deadline consumes no randomness, so recorded
+        # pre-deadline workloads stay reproducible.
+        plain = events(mutation_fraction=0.2)
+        stamped = events(deadline_ms=500.0, mutation_fraction=0.2)
+        assert len(plain) == len(stamped)
+        for before, after in zip(plain, stamped):
+            assert before.index == after.index
+            assert before.phase == after.phase
+            assert before.query == after.query
+        plain_again = events(mutation_fraction=0.2)
+        assert events_to_jsonl(plain) == events_to_jsonl(plain_again)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_pattern_rejects_non_positive_deadlines(self, bad):
+        with pytest.raises(ParameterError):
+            TrafficPattern(deadline_ms=bad)
+
+
+class TestChaosProfiles:
+    def test_every_profile_resolves_to_valid_pattern_overrides(self):
+        for name in CHAOS_TRAFFIC_PROFILES:
+            overrides = chaos_pattern_overrides(name)
+            pattern = TrafficPattern(num_queries=20, seed=1, **overrides)
+            assert generate_traffic(DATASETS, pattern)
+
+    def test_overrides_are_a_copy(self):
+        first = chaos_pattern_overrides("mutation-storm")
+        first["mutation_fraction"] = 0.99
+        assert chaos_pattern_overrides("mutation-storm") != first
+
+    def test_unknown_profile_names_the_valid_ones(self):
+        with pytest.raises(ParameterError) as excinfo:
+            chaos_pattern_overrides("nope")
+        message = str(excinfo.value)
+        assert "nope" in message
+        for name in CHAOS_TRAFFIC_PROFILES:
+            assert name in message
+
+    def test_mutation_storm_emits_mutations_and_refreezes(self):
+        overrides = chaos_pattern_overrides("mutation-storm")
+        stream = events(**overrides)
+        mutations = [e for e in stream if e.kind == "mutate"]
+        assert mutations
+        assert any(e.query.refreeze for e in mutations)
+
+    def test_deadline_storm_stamps_tight_deadlines(self):
+        overrides = chaos_pattern_overrides("deadline-storm")
+        stream = events(**overrides)
+        assert all(e.deadline_ms == overrides["deadline_ms"] for e in stream)

@@ -190,3 +190,59 @@ class TestWorkload:
         # ordering in main()).
         args = build_parser().parse_args(["workload"])
         assert not hasattr(args, "epsilon")
+
+    def test_deadline_ms_stamps_every_emitted_envelope(self, capsys):
+        assert main([*self.ARGS, "--deadline-ms", "250"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        for line in lines:
+            assert json.loads(line)["deadline_ms"] == 250.0
+
+    def test_no_deadline_omits_the_key(self, capsys):
+        assert main(self.ARGS) == 0
+        for line in capsys.readouterr().out.splitlines():
+            assert "deadline_ms" not in json.loads(line)
+
+    def test_chaos_profile_shapes_the_stream(self, capsys):
+        assert main([*self.ARGS, "--chaos-profile", "mutation-storm"]) == 0
+        kinds = {
+            json.loads(line)["kind"]
+            for line in capsys.readouterr().out.splitlines()
+        }
+        assert "mutate" in kinds
+
+    def test_explicit_deadline_overrides_the_profile(self, capsys):
+        # deadline-storm sets deadline_ms=250; an explicit flag must win.
+        assert main(
+            [*self.ARGS, "--chaos-profile", "deadline-storm",
+             "--deadline-ms", "100"]
+        ) == 0
+        for line in capsys.readouterr().out.splitlines():
+            assert json.loads(line)["deadline_ms"] == 100.0
+
+    def test_unknown_chaos_profile_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*self.ARGS, "--chaos-profile", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_non_positive_deadline_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*self.ARGS, "--deadline-ms", "0"])
+        assert excinfo.value.code == 2
+
+
+class TestChaosCommand:
+    def test_parser_accepts_the_drill_toggles(self):
+        args = build_parser().parse_args(
+            ["chaos", "--events", "5", "--seed", "3", "--no-kill",
+             "--no-hostile", "--no-disk-full", "--no-slow-shard", "--no-wal"]
+        )
+        assert args.command == "chaos"
+        assert args.events == 5
+        assert args.no_kill and args.no_wal
+
+    def test_invalid_profile_knobs_exit_2_before_any_drill(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--events", "0"])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
